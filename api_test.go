@@ -1,0 +1,94 @@
+package pcmcomp
+
+import "testing"
+
+// TestPublicAPIEndToEnd exercises the facade the way a downstream user
+// would: build a workload, run it through a controller, check a lifetime
+// run and a Monte-Carlo estimate.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	// Compression.
+	var b Block
+	b.SetWord(0, 42)
+	res := Compress(&b)
+	if res.Size() >= LineSize {
+		t.Fatalf("near-zero line did not compress: %d bytes", res.Size())
+	}
+	back, err := Decompress(res.Encoding, res.Data)
+	if err != nil || back != b {
+		t.Fatalf("round trip failed: %v", err)
+	}
+
+	// Error schemes.
+	var faults FaultSet
+	faults.Add(3)
+	for _, s := range []ErrorScheme{NewECP(6), NewSAFER(5), NewSECDED()} {
+		if !s.Correctable(&faults, 0, LineSize) {
+			t.Fatalf("%s cannot correct one fault", s.Name())
+		}
+	}
+	if _, err := NewAegis(17, 31); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAegis(4, 4); err == nil {
+		t.Fatal("invalid Aegis geometry accepted")
+	}
+
+	// Workload -> controller -> lifetime.
+	prof, err := WorkloadByName("milc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Workloads()) != 15 {
+		t.Fatal("expected 15 Table III workloads")
+	}
+	gen, err := NewWorkloadGenerator(prof, ScaleQuick.TraceLines, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := make([]TraceEvent, 2000)
+	for i := range events {
+		events[i] = gen.Next()
+	}
+
+	ctrl, err := NewController(DefaultControllerConfig(CompWF, ScaleQuick.Substrate(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out WriteOutcome
+	for i := range events {
+		out = ctrl.Write(events[i].Addr%ctrl.LogicalLines(), &events[i].Data)
+	}
+	if !out.Stored {
+		t.Fatal("final write not stored on a fresh memory")
+	}
+
+	cfg := DefaultLifetimeConfig(DefaultControllerConfig(Baseline, ScaleQuick.Substrate(1)))
+	cfg.MaxDemandWrites = 20000
+	lres, err := RunLifetime(cfg, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lres.DemandWrites == 0 {
+		t.Fatal("lifetime run did no work")
+	}
+
+	// Monte-Carlo.
+	p, err := FailureProbability(NewECP(6), 32, 6, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Fatalf("6 faults under ECP-6 should never fail, got %v", p)
+	}
+}
+
+func TestSystemConstants(t *testing.T) {
+	names := map[System]string{
+		Baseline: "Baseline", Comp: "Comp", CompW: "Comp+W", CompWF: "Comp+WF",
+	}
+	for sys, want := range names {
+		if sys.String() != want {
+			t.Errorf("%v != %s", sys, want)
+		}
+	}
+}

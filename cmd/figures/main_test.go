@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"quick", "default", "large"} {
+		if _, err := scaleByName(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := scaleByName("bogus"); err == nil {
+		t.Error("bogus scale accepted")
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing experiment accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("bogus experiment accepted")
+	}
+	if err := run([]string{"-scale", "bogus", "fig3"}); err == nil {
+		t.Error("bogus scale accepted")
+	}
+}
+
+func TestLightExperiments(t *testing.T) {
+	// The fast experiments run end-to-end through the CLI; the heavy
+	// lifetime/fig9 paths are covered by internal/experiments tests.
+	for _, exp := range []string{"fig1", "fig3", "fig6", "fig7", "table3", "perf"} {
+		if err := run([]string{"-scale", "quick", exp}); err != nil {
+			t.Errorf("%s: %v", exp, err)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Command lifetime runs the trace-driven PCM lifetime simulation for one
+// workload under one or all of the paper's four systems, reporting demand
+// writes to failure, projected months, and controller statistics.
+//
+// Usage:
+//
+//	lifetime -app milc [-system all|baseline|comp|comp+w|comp+wf]
+//	         [-scale quick|default|large] [-trace file.pcmt] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pcmcomp/internal/config"
+	"pcmcomp/internal/core"
+	"pcmcomp/internal/ecc"
+	"pcmcomp/internal/ecc/aegis"
+	"pcmcomp/internal/ecc/ecp"
+	"pcmcomp/internal/ecc/safer"
+	"pcmcomp/internal/ecc/secded"
+	"pcmcomp/internal/lifetime"
+	"pcmcomp/internal/trace"
+	"pcmcomp/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lifetime:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lifetime", flag.ContinueOnError)
+	app := fs.String("app", "gcc", "workload profile name")
+	system := fs.String("system", "all", "baseline, comp, comp+w, comp+wf, or all")
+	scaleName := fs.String("scale", "quick", "substrate scale: quick, default, or large")
+	traceFile := fs.String("trace", "", "replay a .pcmt trace instead of generating one")
+	seed := fs.Uint64("seed", 1, "seed")
+	eccName := fs.String("ecc", "ecp", "hard-error scheme: ecp, safer, aegis, or secded")
+	useFNW := fs.Bool("fnw", false, "use Flip-N-Write instead of plain differential writes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var scale config.Scale
+	switch *scaleName {
+	case "quick":
+		scale = config.ScaleQuick
+	case "default":
+		scale = config.ScaleDefault
+	case "large":
+		scale = config.ScaleLarge
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	prof, err := workload.ByName(*app)
+	if err != nil {
+		return err
+	}
+
+	var events []trace.Event
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if trace.IsGzipPath(*traceFile) {
+			sr, err := trace.NewStreamReader(f, true)
+			if err != nil {
+				return err
+			}
+			defer sr.Close()
+			for {
+				e, err := sr.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return err
+				}
+				events = append(events, e)
+			}
+		} else if events, err = trace.Read(f); err != nil {
+			return err
+		}
+	} else {
+		gen, err := workload.NewGenerator(prof, scale.TraceLines, *seed)
+		if err != nil {
+			return err
+		}
+		events = gen.GenerateTrace(scale.TraceEvents)
+	}
+
+	systems, err := parseSystems(*system)
+	if err != nil {
+		return err
+	}
+
+	scheme, err := schemeByName(*eccName)
+	if err != nil {
+		return err
+	}
+
+	var baseline lifetime.Result
+	for i, sys := range systems {
+		ctrl := core.DefaultConfig(sys, scale.Substrate(*seed))
+		ctrl.Scheme = scheme
+		ctrl.UseFNW = *useFNW
+		cfg := lifetime.DefaultConfig(ctrl)
+		res, err := lifetime.Run(cfg, events)
+		if err != nil {
+			return err
+		}
+		tm := lifetime.DefaultTimeModel(prof.WPKI, scale.EnduranceScale(), scale.CapacityScale())
+		fmt.Printf("%-9s demand writes %12d  replays %6d  projected %7.1f months",
+			sys, res.DemandWrites, res.Replays, tm.Months(res.DemandWrites))
+		if i == 0 {
+			baseline = res
+			fmt.Printf("  (reference)\n")
+		} else {
+			fmt.Printf("  %5.2fx\n", res.Normalized(baseline))
+		}
+		s := res.Stats
+		fmt.Printf("          flips %d, uncorrectable %d, resurrections %d, gap moves %d, rotations %d\n",
+			s.BitFlips, s.UncorrectableErrors, s.Resurrections, s.GapMovements, s.Rotations)
+	}
+	return nil
+}
+
+func schemeByName(name string) (ecc.Scheme, error) {
+	switch strings.ToLower(name) {
+	case "ecp":
+		return ecp.New(6), nil
+	case "safer":
+		return safer.New(5), nil
+	case "aegis":
+		return aegis.New(17, 31)
+	case "secded":
+		return secded.Scheme{}, nil
+	default:
+		return nil, fmt.Errorf("unknown ECC scheme %q", name)
+	}
+}
+
+func parseSystems(s string) ([]core.SystemKind, error) {
+	if s == "all" {
+		return []core.SystemKind{core.Baseline, core.Comp, core.CompW, core.CompWF}, nil
+	}
+	switch strings.ToLower(s) {
+	case "baseline":
+		return []core.SystemKind{core.Baseline}, nil
+	case "comp":
+		return []core.SystemKind{core.Comp}, nil
+	case "comp+w", "compw":
+		return []core.SystemKind{core.CompW}, nil
+	case "comp+wf", "compwf":
+		return []core.SystemKind{core.CompWF}, nil
+	default:
+		return nil, fmt.Errorf("unknown system %q", s)
+	}
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pcmcomp/internal/trace"
+	"pcmcomp/internal/workload"
+)
+
+func TestSingleSystemRun(t *testing.T) {
+	if err := run([]string{"-app", "milc", "-system", "baseline", "-scale", "quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllSystemsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four lifetime runs")
+	}
+	if err := run([]string{"-app", "sjeng", "-system", "all", "-scale", "quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceReplay(t *testing.T) {
+	p, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.NewGenerator(p, 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "r.pcmt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, g.GenerateTrace(2000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-app", "gcc", "-system", "comp+wf", "-scale", "quick", "-trace", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	if err := run([]string{"-system", "bogus"}); err == nil {
+		t.Fatal("bogus system accepted")
+	}
+	if err := run([]string{"-scale", "bogus"}); err == nil {
+		t.Fatal("bogus scale accepted")
+	}
+	if err := run([]string{"-app", "bogus"}); err == nil {
+		t.Fatal("bogus app accepted")
+	}
+	if err := run([]string{"-trace", "/nonexistent/file.pcmt"}); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+}
+
+func TestSchemeAndFNWFlags(t *testing.T) {
+	if err := run([]string{"-app", "milc", "-system", "comp+wf", "-scale", "quick", "-ecc", "safer", "-fnw"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-ecc", "bogus"}); err == nil {
+		t.Fatal("bogus ECC scheme accepted")
+	}
+}
+
+func TestSchemeByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"ecp": "ECP-6", "safer": "SAFER-32", "aegis": "Aegis-17x31",
+		"SAFER": "SAFER-32", "secded": "SECDED-72/64",
+	} {
+		s, err := schemeByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name() != want {
+			t.Errorf("%s -> %s, want %s", name, s.Name(), want)
+		}
+	}
+}
+
+func TestParseSystems(t *testing.T) {
+	if systems, err := parseSystems("all"); err != nil || len(systems) != 4 {
+		t.Fatalf("all -> %v, %v", systems, err)
+	}
+	for _, name := range []string{"baseline", "comp", "comp+w", "comp+wf", "compw", "compwf"} {
+		if systems, err := parseSystems(name); err != nil || len(systems) != 1 {
+			t.Fatalf("%s -> %v, %v", name, systems, err)
+		}
+	}
+}
+
+func TestGzipTraceReplay(t *testing.T) {
+	p, err := workload.ByName("sjeng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.NewGenerator(p, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "r.pcmt.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := trace.NewStreamWriter(f, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1500; i++ {
+		if err := sw.Append(g.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-app", "sjeng", "-system", "comp", "-scale", "quick", "-trace", path}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pcmcomp/internal/trace"
+)
+
+func TestListProfiles(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectGeneration(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.pcmt")
+	if err := run([]string{"-app", "milc", "-events", "500", "-lines", "128", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 500 {
+		t.Fatalf("trace has %d events, want 500", len(evs))
+	}
+}
+
+func TestCachesimGeneration(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "c.pcmt")
+	if err := run([]string{"-app", "gcc", "-events", "3000", "-lines", "2048", "-cachesim", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("cachesim produced no write-backs")
+	}
+}
+
+func TestGzipOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.pcmt.gz")
+	if err := run([]string{"-app", "sjeng", "-events", "300", "-lines", "64", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sr, err := trace.NewStreamReader(f, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	n := 0
+	for {
+		if _, err := sr.Next(); err != nil {
+			break
+		}
+		n++
+	}
+	if n != 300 {
+		t.Fatalf("gz trace has %d events, want 300", n)
+	}
+}
+
+func TestUnknownApp(t *testing.T) {
+	if err := run([]string{"-app", "nope"}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}

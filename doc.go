@@ -1,0 +1,11 @@
+// Package pcmcomp is a Go reproduction of the DSN 2017 paper "Exploring
+// the Potential for Collaborative Data Compression and Hard-Error
+// Tolerance in PCM Memories" (Jadidi, Arjomand, Khavari Tavana, Kaeli,
+// Kandemir, Das).
+//
+// The library lives under internal/ (see DESIGN.md for the system
+// inventory); the executables under cmd/ and the runnable examples under
+// examples/ are the public surface. bench_test.go at this root hosts one
+// benchmark per paper table/figure, each printing the regenerated rows or
+// series when run with -bench.
+package pcmcomp

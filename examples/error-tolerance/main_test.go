@@ -1,0 +1,13 @@
+package main
+
+import "testing"
+
+// Smoke test: the example must run end-to-end without error.
+func TestExampleRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example runs a full demo")
+	}
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module pcmcomp
+
+go 1.22

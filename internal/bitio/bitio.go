@@ -1,0 +1,60 @@
+// Package bitio provides MSB-first bitstream encoding shared by the
+// bit-packed compressors (FPC, FVC). Streams are written most-significant
+// bit first within each byte, and the final partial byte is zero-padded.
+package bitio
+
+// Writer assembles an MSB-first bitstream.
+type Writer struct {
+	out  []byte
+	cur  uint64
+	nCur int
+}
+
+// Write appends the low n bits of v (MSB first). n must be in [0, 56].
+func (w *Writer) Write(v uint64, n int) {
+	w.cur = w.cur<<uint(n) | v&(1<<uint(n)-1)
+	w.nCur += n
+	for w.nCur >= 8 {
+		w.nCur -= 8
+		w.out = append(w.out, byte(w.cur>>uint(w.nCur)))
+	}
+}
+
+// Bytes flushes the final partial byte and returns the stream. The writer
+// must not be reused afterwards.
+func (w *Writer) Bytes() []byte {
+	if w.nCur > 0 {
+		w.out = append(w.out, byte(w.cur<<uint(8-w.nCur)))
+		w.nCur = 0
+	}
+	return w.out
+}
+
+// BitLen returns the number of bits written so far.
+func (w *Writer) BitLen() int { return len(w.out)*8 + w.nCur }
+
+// Reader consumes an MSB-first bitstream.
+type Reader struct {
+	data []byte
+	pos  int // bit position
+}
+
+// NewReader wraps data for reading.
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Read extracts the next n bits; ok is false if the stream is exhausted.
+func (r *Reader) Read(n int) (v uint64, ok bool) {
+	if r.pos+n > len(r.data)*8 {
+		return 0, false
+	}
+	for i := 0; i < n; i++ {
+		byteIdx := r.pos >> 3
+		bitIdx := 7 - r.pos&7
+		v = v<<1 | uint64(r.data[byteIdx]>>uint(bitIdx)&1)
+		r.pos++
+	}
+	return v, true
+}
+
+// Pos returns the current bit position.
+func (r *Reader) Pos() int { return r.pos }

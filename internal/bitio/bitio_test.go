@@ -1,0 +1,94 @@
+package bitio
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pcmcomp/internal/rng"
+)
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		var w Writer
+		type field struct {
+			v uint64
+			n int
+		}
+		var fields []field
+		for i := 0; i < 80; i++ {
+			n := r.Intn(33)
+			v := r.Uint64() & (1<<uint(n) - 1)
+			fields = append(fields, field{v, n})
+			w.Write(v, n)
+		}
+		data := w.Bytes()
+		rd := NewReader(data)
+		for _, f := range fields {
+			got, ok := rd.Read(f.n)
+			if !ok || got != f.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	var w Writer
+	if w.BitLen() != 0 {
+		t.Fatal("fresh writer has bits")
+	}
+	w.Write(0b101, 3)
+	if w.BitLen() != 3 {
+		t.Fatalf("bitlen = %d", w.BitLen())
+	}
+	w.Write(0xffff, 16)
+	if w.BitLen() != 19 {
+		t.Fatalf("bitlen = %d", w.BitLen())
+	}
+	if got := len(w.Bytes()); got != 3 {
+		t.Fatalf("bytes = %d, want ceil(19/8)=3", got)
+	}
+}
+
+func TestMSBFirstLayout(t *testing.T) {
+	var w Writer
+	w.Write(1, 1) // bit 7 of byte 0
+	w.Write(0, 7)
+	data := w.Bytes()
+	if data[0] != 0x80 {
+		t.Fatalf("byte = %x, want 0x80 (MSB first)", data[0])
+	}
+}
+
+func TestReaderExhaustion(t *testing.T) {
+	r := NewReader([]byte{0xff})
+	if _, ok := r.Read(9); ok {
+		t.Fatal("read past end succeeded")
+	}
+	if v, ok := r.Read(8); !ok || v != 0xff {
+		t.Fatalf("read = %v, %v", v, ok)
+	}
+	if r.Pos() != 8 {
+		t.Fatalf("pos = %d", r.Pos())
+	}
+	if _, ok := r.Read(1); ok {
+		t.Fatal("read past end succeeded")
+	}
+}
+
+func TestZeroBitOperations(t *testing.T) {
+	var w Writer
+	w.Write(0, 0)
+	if len(w.Bytes()) != 0 {
+		t.Fatal("zero-bit write produced output")
+	}
+	r := NewReader(nil)
+	if v, ok := r.Read(0); !ok || v != 0 {
+		t.Fatal("zero-bit read should succeed trivially")
+	}
+}

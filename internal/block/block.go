@@ -1,0 +1,148 @@
+// Package block provides the 64-byte memory-line abstraction used across the
+// simulator, together with the bit-level arithmetic (Hamming distance, bit
+// extraction, windowed comparison) that the differential-write engine, the
+// error-correction schemes and the compression-window controller rely on.
+//
+// A memory line in the modeled PCM DIMM is 64 data bytes (512 cells); the
+// ninth chip of the rank holds 64 additional ECC/metadata bits per line,
+// which are modeled separately (see internal/pcm and internal/core).
+package block
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Size is the memory line size in bytes (one LLC cache line).
+const Size = 64
+
+// Bits is the number of data cells in a line.
+const Bits = Size * 8
+
+// Block is one 64-byte memory line. It is a value type; assignment copies.
+type Block [Size]byte
+
+// FromBytes builds a Block from up to 64 bytes; shorter inputs are
+// zero-padded at the high end. It returns an error if b is longer than Size.
+func FromBytes(b []byte) (Block, error) {
+	var blk Block
+	if len(b) > Size {
+		return blk, fmt.Errorf("block: input length %d exceeds line size %d", len(b), Size)
+	}
+	copy(blk[:], b)
+	return blk, nil
+}
+
+// Word returns the i-th 64-bit little-endian word of the block (i in [0,8)).
+func (b *Block) Word(i int) uint64 {
+	off := i * 8
+	return uint64(b[off]) | uint64(b[off+1])<<8 | uint64(b[off+2])<<16 |
+		uint64(b[off+3])<<24 | uint64(b[off+4])<<32 | uint64(b[off+5])<<40 |
+		uint64(b[off+6])<<48 | uint64(b[off+7])<<56
+}
+
+// SetWord stores w as the i-th 64-bit little-endian word of the block.
+func (b *Block) SetWord(i int, w uint64) {
+	off := i * 8
+	b[off] = byte(w)
+	b[off+1] = byte(w >> 8)
+	b[off+2] = byte(w >> 16)
+	b[off+3] = byte(w >> 24)
+	b[off+4] = byte(w >> 32)
+	b[off+5] = byte(w >> 40)
+	b[off+6] = byte(w >> 48)
+	b[off+7] = byte(w >> 56)
+}
+
+// Bit returns the value of bit i (0 <= i < Bits). Bit 0 is the least
+// significant bit of byte 0.
+func (b *Block) Bit(i int) bool {
+	return b[i>>3]&(1<<(uint(i)&7)) != 0
+}
+
+// SetBit sets bit i to v.
+func (b *Block) SetBit(i int, v bool) {
+	if v {
+		b[i>>3] |= 1 << (uint(i) & 7)
+	} else {
+		b[i>>3] &^= 1 << (uint(i) & 7)
+	}
+}
+
+// FlipBit inverts bit i.
+func (b *Block) FlipBit(i int) {
+	b[i>>3] ^= 1 << (uint(i) & 7)
+}
+
+// PopCount returns the number of set bits in the block.
+func (b *Block) PopCount() int {
+	n := 0
+	for i := 0; i < 8; i++ {
+		n += bits.OnesCount64(b.Word(i))
+	}
+	return n
+}
+
+// HammingDistance returns the number of bit positions at which a and b
+// differ. Under differential writes, this is exactly the number of cell
+// programs required to overwrite a with b.
+func HammingDistance(a, b *Block) int {
+	n := 0
+	for i := 0; i < 8; i++ {
+		n += bits.OnesCount64(a.Word(i) ^ b.Word(i))
+	}
+	return n
+}
+
+// DiffBits appends to dst the indices of all bit positions at which a and b
+// differ, and returns the extended slice. Indices are ascending.
+func DiffBits(dst []int, a, b *Block) []int {
+	for i := 0; i < 8; i++ {
+		x := a.Word(i) ^ b.Word(i)
+		base := i * 64
+		for x != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(x))
+			x &= x - 1
+		}
+	}
+	return dst
+}
+
+// HammingDistanceWindow returns the Hamming distance between a and b
+// restricted to the byte window [start, start+length).
+func HammingDistanceWindow(a, b *Block, start, length int) int {
+	n := 0
+	for i := start; i < start+length; i++ {
+		n += bits.OnesCount8(a[i] ^ b[i])
+	}
+	return n
+}
+
+// Invert returns the bitwise complement of the block.
+func (b *Block) Invert() Block {
+	var out Block
+	for i := range b {
+		out[i] = ^b[i]
+	}
+	return out
+}
+
+// Equal reports whether two blocks hold identical contents.
+func Equal(a, b *Block) bool { return *a == *b }
+
+// String renders the block as grouped hexadecimal bytes for debugging.
+func (b *Block) String() string {
+	const hexdigits = "0123456789abcdef"
+	out := make([]byte, 0, Size*3)
+	for i, v := range b {
+		if i > 0 {
+			if i%16 == 0 {
+				out = append(out, '\n')
+			} else {
+				out = append(out, ' ')
+			}
+		}
+		out = append(out, hexdigits[v>>4], hexdigits[v&0xf])
+	}
+	return string(out)
+}

@@ -1,0 +1,197 @@
+package block
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pcmcomp/internal/rng"
+)
+
+func randomBlock(r *rng.Rand) Block {
+	var b Block
+	for i := 0; i < 8; i++ {
+		b.SetWord(i, r.Uint64())
+	}
+	return b
+}
+
+func TestFromBytes(t *testing.T) {
+	b, err := FromBytes([]byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 1 || b[1] != 2 || b[2] != 3 || b[3] != 0 {
+		t.Fatalf("unexpected contents: %v", b[:4])
+	}
+	if _, err := FromBytes(make([]byte, Size+1)); err == nil {
+		t.Fatal("expected error for oversized input")
+	}
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	var b Block
+	words := make([]uint64, 8)
+	for i := range words {
+		words[i] = r.Uint64()
+		b.SetWord(i, words[i])
+	}
+	for i, w := range words {
+		if got := b.Word(i); got != w {
+			t.Fatalf("word %d: got %x want %x", i, got, w)
+		}
+	}
+}
+
+func TestWordIsLittleEndian(t *testing.T) {
+	var b Block
+	b.SetWord(0, 0x0102030405060708)
+	if b[0] != 0x08 || b[7] != 0x01 {
+		t.Fatalf("not little-endian: % x", b[:8])
+	}
+}
+
+func TestBitOps(t *testing.T) {
+	var b Block
+	for _, i := range []int{0, 1, 7, 8, 63, 64, 255, 511} {
+		if b.Bit(i) {
+			t.Fatalf("bit %d set in zero block", i)
+		}
+		b.SetBit(i, true)
+		if !b.Bit(i) {
+			t.Fatalf("bit %d not set after SetBit", i)
+		}
+		b.FlipBit(i)
+		if b.Bit(i) {
+			t.Fatalf("bit %d set after FlipBit", i)
+		}
+		b.FlipBit(i)
+		if !b.Bit(i) {
+			t.Fatalf("bit %d clear after second FlipBit", i)
+		}
+		b.SetBit(i, false)
+		if b.Bit(i) {
+			t.Fatalf("bit %d set after clearing", i)
+		}
+	}
+}
+
+func TestPopCount(t *testing.T) {
+	var b Block
+	if b.PopCount() != 0 {
+		t.Fatal("zero block has nonzero popcount")
+	}
+	for i := 0; i < Bits; i += 3 {
+		b.SetBit(i, true)
+	}
+	want := (Bits + 2) / 3
+	if got := b.PopCount(); got != want {
+		t.Fatalf("popcount = %d, want %d", got, want)
+	}
+}
+
+func TestHammingDistanceMatchesDiffBits(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 100; trial++ {
+		a, b := randomBlock(r), randomBlock(r)
+		d := HammingDistance(&a, &b)
+		diffs := DiffBits(nil, &a, &b)
+		if len(diffs) != d {
+			t.Fatalf("HammingDistance=%d but DiffBits found %d", d, len(diffs))
+		}
+		for _, idx := range diffs {
+			if a.Bit(idx) == b.Bit(idx) {
+				t.Fatalf("DiffBits reported equal bit %d", idx)
+			}
+		}
+		// Ascending order.
+		for i := 1; i < len(diffs); i++ {
+			if diffs[i] <= diffs[i-1] {
+				t.Fatalf("DiffBits not ascending: %v", diffs)
+			}
+		}
+	}
+}
+
+func TestHammingDistanceProperties(t *testing.T) {
+	r := rng.New(11)
+	f := func(seed uint64) bool {
+		rr := rng.New(seed)
+		a, b, c := randomBlock(rr), randomBlock(rr), randomBlock(rr)
+		dAB := HammingDistance(&a, &b)
+		dBA := HammingDistance(&b, &a)
+		dAA := HammingDistance(&a, &a)
+		dAC := HammingDistance(&a, &c)
+		dBC := HammingDistance(&b, &c)
+		// Symmetry, identity, triangle inequality.
+		return dAB == dBA && dAA == 0 && dAC <= dAB+dBC
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: nil}); err != nil {
+		t.Error(err)
+	}
+	_ = r
+}
+
+func TestHammingDistanceWindow(t *testing.T) {
+	var a, b Block
+	b[0] = 0xff // 8 flips in byte 0
+	b[10] = 0x0f
+	b[63] = 0x01
+	if got := HammingDistanceWindow(&a, &b, 0, 64); got != 13 {
+		t.Fatalf("full window = %d, want 13", got)
+	}
+	if got := HammingDistanceWindow(&a, &b, 0, 1); got != 8 {
+		t.Fatalf("byte 0 window = %d, want 8", got)
+	}
+	if got := HammingDistanceWindow(&a, &b, 1, 9); got != 0 {
+		t.Fatalf("bytes 1-9 window = %d, want 0", got)
+	}
+	if got := HammingDistanceWindow(&a, &b, 10, 54); got != 5 {
+		t.Fatalf("tail window = %d, want 5", got)
+	}
+	full := HammingDistance(&a, &b)
+	split := HammingDistanceWindow(&a, &b, 0, 32) + HammingDistanceWindow(&a, &b, 32, 32)
+	if full != split {
+		t.Fatalf("windowed sum %d != full distance %d", split, full)
+	}
+}
+
+func TestInvert(t *testing.T) {
+	r := rng.New(3)
+	a := randomBlock(r)
+	inv := a.Invert()
+	if HammingDistance(&a, &inv) != Bits {
+		t.Fatal("inverted block should differ in all bits")
+	}
+	back := inv.Invert()
+	if !Equal(&a, &back) {
+		t.Fatal("double inversion is not identity")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	var b Block
+	s := b.String()
+	if len(s) == 0 {
+		t.Fatal("empty string rendering")
+	}
+}
+
+func BenchmarkHammingDistance(b *testing.B) {
+	r := rng.New(1)
+	x, y := randomBlock(r), randomBlock(r)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = HammingDistance(&x, &y)
+	}
+}
+
+func BenchmarkDiffBits(b *testing.B) {
+	r := rng.New(1)
+	x, y := randomBlock(r), randomBlock(r)
+	buf := make([]int, 0, Bits)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = DiffBits(buf[:0], &x, &y)
+	}
+}

@@ -1,0 +1,283 @@
+package cachesim
+
+import (
+	"testing"
+
+	"pcmcomp/internal/block"
+	"pcmcomp/internal/rng"
+	"pcmcomp/internal/trace"
+	"pcmcomp/internal/workload"
+)
+
+func tinyConfig() Config {
+	return Config{Cores: 2, L1Size: 512, L1Ways: 2, L2Size: 2048, L2Ways: 4}
+}
+
+func blockWith(v byte) block.Block {
+	var b block.Block
+	for i := range b {
+		b[i] = v
+	}
+	return b
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Cores: 0, L1Size: 512, L1Ways: 2, L2Size: 2048, L2Ways: 4},
+		{Cores: 1, L1Size: 32, L1Ways: 2, L2Size: 2048, L2Ways: 4},
+		{Cores: 1, L1Size: 512, L1Ways: 3, L2Size: 2048, L2Ways: 4}, // 8 lines % 3
+		{Cores: 1, L1Size: 960, L1Ways: 5, L2Size: 2048, L2Ways: 4}, // 3 sets
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestWriteHitsAbsorbedByL1(t *testing.T) {
+	h, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeated writes to the same line must produce no memory write-backs.
+	for i := 0; i < 100; i++ {
+		if err := h.Access(Access{Core: 0, Addr: 1, Write: true, Data: blockWith(byte(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(h.Writebacks()); got != 0 {
+		t.Fatalf("%d write-backs without eviction pressure", got)
+	}
+	s := h.Stats()
+	if s.L1Hits != 99 || s.L1Misses != 1 {
+		t.Fatalf("L1 hits/misses = %d/%d", s.L1Hits, s.L1Misses)
+	}
+}
+
+func TestEvictionChainEmitsWriteback(t *testing.T) {
+	cfg := tinyConfig() // L1: 8 lines (4 sets x 2), L2: 32 lines (8 sets x 4)
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write many distinct lines mapping across sets; enough to overflow L2.
+	n := 200
+	for i := 0; i < n; i++ {
+		if err := h.Access(Access{Core: 0, Addr: i, Write: true, Data: blockWith(byte(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(h.Writebacks()) == 0 {
+		t.Fatal("no write-backs despite L2 overflow")
+	}
+	// Every write-back's data must match what was stored to that address.
+	for _, wb := range h.Writebacks() {
+		want := blockWith(byte(wb.Addr))
+		if !block.Equal(&wb.Data, &want) {
+			t.Fatalf("write-back for %d carries wrong data", wb.Addr)
+		}
+	}
+}
+
+func TestFlushDrainsAllDirtyLines(t *testing.T) {
+	h, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	written := map[int]block.Block{}
+	for i := 0; i < 40; i++ {
+		d := blockWith(byte(i * 3))
+		written[i] = d
+		if err := h.Access(Access{Core: i % 2, Addr: i, Write: true, Data: d}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Flush()
+	// After flush, the union of write-backs must include the latest data
+	// for every written line (later write-backs override earlier ones).
+	final := map[int]block.Block{}
+	for _, wb := range h.Writebacks() {
+		final[wb.Addr] = wb.Data
+	}
+	for addr, want := range written {
+		got, ok := final[addr]
+		if !ok {
+			t.Fatalf("line %d never written back", addr)
+		}
+		if !block.Equal(&got, &want) {
+			t.Fatalf("line %d write-back stale", addr)
+		}
+	}
+}
+
+func TestCoherenceInvalidation(t *testing.T) {
+	h, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := blockWith(0xaa)
+	if err := h.Access(Access{Core: 0, Addr: 5, Write: true, Data: d0}); err != nil {
+		t.Fatal(err)
+	}
+	// Core 1 reads the line (shared), then writes it (invalidates core 0).
+	if err := h.Access(Access{Core: 1, Addr: 5}); err != nil {
+		t.Fatal(err)
+	}
+	d1 := blockWith(0xbb)
+	if err := h.Access(Access{Core: 1, Addr: 5, Write: true, Data: d1}); err != nil {
+		t.Fatal(err)
+	}
+	if h.Stats().Invalidations == 0 {
+		t.Fatal("write to shared line caused no invalidation")
+	}
+	h.Flush()
+	final := map[int]block.Block{}
+	for _, wb := range h.Writebacks() {
+		final[wb.Addr] = wb.Data
+	}
+	got := final[5]
+	if !block.Equal(&got, &d1) {
+		t.Fatal("flushed data is not the last writer's")
+	}
+}
+
+func TestReadAfterRemoteWriteSeesData(t *testing.T) {
+	h, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := blockWith(0x42)
+	if err := h.Access(Access{Core: 0, Addr: 9, Write: true, Data: d}); err != nil {
+		t.Fatal(err)
+	}
+	// Core 1 reads: the dirty peer copy must be visible (no stale zero).
+	if err := h.Access(Access{Core: 1, Addr: 9}); err != nil {
+		t.Fatal(err)
+	}
+	// Force core 1's copy out and verify its content via flush.
+	h.Flush()
+	final := map[int]block.Block{}
+	for _, wb := range h.Writebacks() {
+		final[wb.Addr] = wb.Data
+	}
+	got, ok := final[9]
+	if !ok {
+		t.Fatal("line 9 never written back")
+	}
+	if !block.Equal(&got, &d) {
+		t.Fatal("peer read lost dirty data")
+	}
+}
+
+func TestAccessValidation(t *testing.T) {
+	h, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Access(Access{Core: 7, Addr: 0}); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+	if err := h.Access(Access{Core: 0, Addr: -1}); err == nil {
+		t.Error("negative address accepted")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// Direct-check: with a 2-way set, touching A,B,A then C must evict B.
+	cfg := Config{Cores: 1, L1Size: 128, L1Ways: 2, L2Size: 2048, L2Ways: 4} // 1 set
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := 0, 1, 2
+	for _, addr := range []int{a, b, a, c} {
+		if err := h.Access(Access{Core: 0, Addr: addr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A and C resident, B evicted: re-reading A and C hits, B misses.
+	before := h.Stats().L1Hits
+	_ = h.Access(Access{Core: 0, Addr: a})
+	_ = h.Access(Access{Core: 0, Addr: c})
+	if h.Stats().L1Hits != before+2 {
+		t.Fatal("LRU kept the wrong lines")
+	}
+	beforeMiss := h.Stats().L1Misses
+	_ = h.Access(Access{Core: 0, Addr: b})
+	if h.Stats().L1Misses != beforeMiss+1 {
+		t.Fatal("B should have been evicted")
+	}
+}
+
+func TestWritebackFilteringReducesTraffic(t *testing.T) {
+	// The hierarchy must absorb re-writes: N stores to a small hot set
+	// produce far fewer than N write-backs (cache filtering, Table II's
+	// "capacity large enough to filter traffic").
+	h, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	const stores = 5000
+	for i := 0; i < stores; i++ {
+		addr := r.Intn(16) // hot working set fits in L2
+		if err := h.Access(Access{Core: addr % 2, Addr: addr, Write: true, Data: blockWith(byte(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Flush()
+	if got := len(h.Writebacks()); got > stores/4 {
+		t.Fatalf("%d write-backs from %d stores: no filtering", got, stores)
+	}
+}
+
+func TestDriverWithWorkloadSource(t *testing.T) {
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(prof, 4096, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriver(h, gen, 2, 5)
+	wbs, err := d.Run(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wbs) == 0 {
+		t.Fatal("no write-backs captured")
+	}
+	st := trace.Summarize(wbs)
+	if st.DistinctLines < 100 {
+		t.Fatalf("trace footprint too small: %d lines", st.DistinctLines)
+	}
+	if st.MaxAddr >= 4096 {
+		t.Fatalf("address %d outside generator space", st.MaxAddr)
+	}
+	s := h.Stats()
+	if s.Accesses == 0 || s.L1Hits == 0 || s.L2Misses == 0 {
+		t.Fatalf("implausible stats: %+v", s)
+	}
+}
+
+func BenchmarkHierarchyAccess(b *testing.B) {
+	h, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		addr := r.Intn(1 << 16)
+		_ = h.Access(Access{Core: addr & 15, Addr: addr, Write: i&3 == 0, Data: blockWith(byte(i))})
+	}
+}

@@ -1,0 +1,83 @@
+package cachesim
+
+import (
+	"pcmcomp/internal/rng"
+	"pcmcomp/internal/trace"
+)
+
+// Source produces CPU-level store intents (a line address and its new
+// content); workload.Generator satisfies it.
+type Source interface {
+	Next() trace.Event
+}
+
+// Driver turns a store-intent source into a multicore CPU access stream:
+// each intent becomes a store by the line's home core, preceded by a read
+// of the same line (load-modify-store) and mixed with reads of recently
+// touched lines to model reuse. The hierarchy filters this stream into the
+// LLC write-back trace.
+type Driver struct {
+	h             *Hierarchy
+	src           Source
+	r             *rng.Rand
+	readsPerWrite int
+	recent        []int
+	recentPos     int
+}
+
+// NewDriver builds a driver issuing readsPerWrite extra loads per store.
+func NewDriver(h *Hierarchy, src Source, readsPerWrite int, seed uint64) *Driver {
+	return &Driver{
+		h:             h,
+		src:           src,
+		r:             rng.New(seed),
+		readsPerWrite: readsPerWrite,
+		recent:        make([]int, 0, 256),
+	}
+}
+
+// Step performs one store intent and its surrounding reads.
+func (d *Driver) Step() error {
+	ev := d.src.Next()
+	core := ev.Addr % d.h.cfg.Cores
+
+	// Load-modify-store: read the line first.
+	if err := d.h.Access(Access{Core: core, Addr: ev.Addr}); err != nil {
+		return err
+	}
+	if err := d.h.Access(Access{Core: core, Addr: ev.Addr, Write: true, Data: ev.Data}); err != nil {
+		return err
+	}
+	d.remember(ev.Addr)
+
+	// Reuse reads of recent lines, from arbitrary cores (shared data).
+	for i := 0; i < d.readsPerWrite && len(d.recent) > 0; i++ {
+		addr := d.recent[d.r.Intn(len(d.recent))]
+		rc := d.r.Intn(d.h.cfg.Cores)
+		if err := d.h.Access(Access{Core: rc, Addr: addr}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Driver) remember(addr int) {
+	if len(d.recent) < cap(d.recent) {
+		d.recent = append(d.recent, addr)
+		return
+	}
+	d.recent[d.recentPos] = addr
+	d.recentPos = (d.recentPos + 1) % len(d.recent)
+}
+
+// Run performs n store intents and flushes the hierarchy, returning the
+// captured LLC write-back trace.
+func (d *Driver) Run(n int) ([]trace.Event, error) {
+	for i := 0; i < n; i++ {
+		if err := d.Step(); err != nil {
+			return nil, err
+		}
+	}
+	d.h.Flush()
+	return d.h.Writebacks(), nil
+}

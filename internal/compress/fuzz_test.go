@@ -1,0 +1,86 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+
+	"pcmcomp/internal/block"
+	"pcmcomp/internal/compress/bdi"
+	"pcmcomp/internal/compress/fpc"
+)
+
+// Native fuzzing for the compression stack: any 64-byte input must
+// round-trip losslessly through BDI, FPC, and the BEST selector, and the
+// BEST result must never expand.
+
+func toBlock(data []byte) block.Block {
+	var b block.Block
+	copy(b[:], data)
+	return b
+}
+
+func FuzzBestRoundTrip(f *testing.F) {
+	f.Add(make([]byte, 64))
+	f.Add(bytes.Repeat([]byte{0xab}, 64))
+	f.Add([]byte("the quick brown fox jumps over the lazy dog, twice over!!!!!!!!"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := toBlock(data)
+		res := Compress(&b)
+		if res.Size() > block.Size {
+			t.Fatalf("BEST expanded to %d bytes", res.Size())
+		}
+		out, err := Decompress(res.Encoding, res.Data)
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if !block.Equal(&b, &out) {
+			t.Fatalf("round trip mismatch under %v", res.Encoding)
+		}
+	})
+}
+
+func FuzzBDIRoundTrip(f *testing.F) {
+	f.Add(make([]byte, 64))
+	f.Add(bytes.Repeat([]byte{1, 0, 0, 0, 0, 0, 0, 0}, 8))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := toBlock(data)
+		enc, payload := bdi.Compress(&b)
+		out, err := bdi.Decompress(enc, payload)
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if !block.Equal(&b, &out) {
+			t.Fatalf("round trip mismatch under %v", enc)
+		}
+	})
+}
+
+func FuzzFPCRoundTrip(f *testing.F) {
+	f.Add(make([]byte, 64))
+	f.Add(bytes.Repeat([]byte{0xff, 0xff, 0, 0}, 16))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := toBlock(data)
+		payload := fpc.Compress(&b)
+		out, err := fpc.Decompress(payload)
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if !block.Equal(&b, &out) {
+			t.Fatal("round trip mismatch")
+		}
+		if got, want := len(payload), fpc.CompressedSize(&b); got != want {
+			t.Fatalf("payload %d bytes != declared %d", got, want)
+		}
+	})
+}
+
+// FuzzFPCDecompressRobust feeds arbitrary bitstreams to the FPC decoder:
+// it must either fail cleanly or produce a line, never panic.
+func FuzzFPCDecompressRobust(f *testing.F) {
+	var zero block.Block
+	f.Add(fpc.Compress(&zero))
+	f.Add([]byte{0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = fpc.Decompress(data)
+	})
+}

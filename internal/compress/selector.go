@@ -1,0 +1,49 @@
+package compress
+
+import (
+	"fmt"
+
+	"pcmcomp/internal/block"
+	"pcmcomp/internal/compress/fvc"
+)
+
+// EncFVC marks a Frequent-Value-Compression payload. FVC requires a
+// dictionary shared between compressor and decompressor, so it is only
+// produced and consumed by a Selector configured with one; the package-
+// level Compress/Decompress (the paper's BDI+FPC configuration) never
+// emit it.
+const EncFVC Encoding = 10
+
+// Selector is a configurable BEST-of compression front-end. The zero value
+// behaves exactly like the package-level Compress (BDI + FPC); attaching
+// an FVC dictionary adds it to the candidate set, demonstrating the
+// paper's claim that the mechanism works with any value-popularity
+// compressor (§III: "any prior compression algorithm ... can be used").
+type Selector struct {
+	// FVC, when non-nil, adds frequent-value compression to the race.
+	FVC *fvc.Dict
+}
+
+// Compress returns the smallest candidate encoding of the line.
+func (s *Selector) Compress(b *block.Block) Result {
+	best := Compress(b)
+	if s.FVC != nil {
+		if size := s.FVC.CompressedSize(b); size < best.Size() {
+			best = Result{Encoding: EncFVC, Data: s.FVC.Compress(b)}
+		}
+	}
+	return best
+}
+
+// Decompress reverses Compress, including FVC payloads when a dictionary
+// is attached.
+func (s *Selector) Decompress(enc Encoding, data []byte) (block.Block, error) {
+	if enc == EncFVC {
+		if s.FVC == nil {
+			var out block.Block
+			return out, fmt.Errorf("compress: FVC payload but no dictionary attached")
+		}
+		return s.FVC.Decompress(data)
+	}
+	return Decompress(enc, data)
+}

@@ -1,0 +1,94 @@
+package compress
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"pcmcomp/internal/block"
+	"pcmcomp/internal/compress/fvc"
+	"pcmcomp/internal/rng"
+)
+
+func TestZeroSelectorMatchesPackageCompress(t *testing.T) {
+	var s Selector
+	r := rng.New(1)
+	for i := 0; i < 300; i++ {
+		var b block.Block
+		for w := 0; w < 8; w++ {
+			if r.Intn(2) == 0 {
+				b.SetWord(w, uint64(r.Intn(100)))
+			} else {
+				b.SetWord(w, r.Uint64())
+			}
+		}
+		got := s.Compress(&b)
+		want := Compress(&b)
+		if got.Encoding != want.Encoding || got.Size() != want.Size() {
+			t.Fatalf("selector diverged: %v/%d vs %v/%d",
+				got.Encoding, got.Size(), want.Encoding, want.Size())
+		}
+	}
+}
+
+func TestSelectorUsesFVCWhenItWins(t *testing.T) {
+	// Distinct sentinel values repeated per-word: BDI sees no narrow
+	// deltas, FPC sees no frequent patterns, but an FVC dictionary of
+	// exactly those values compresses the line to a few bytes.
+	sentinels := []uint32{0xdead0001, 0xbeef4407, 0xcafe1993, 0xf00d7321}
+	dict, err := fvc.NewDict(sentinels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Selector{FVC: dict}
+	r := rng.New(2)
+	var b block.Block
+	for i := 0; i < 16; i++ {
+		binary.LittleEndian.PutUint32(b[i*4:], sentinels[r.Intn(len(sentinels))])
+	}
+	res := s.Compress(&b)
+	if res.Encoding != EncFVC {
+		t.Fatalf("encoding = %v, want fvc (size %d)", res.Encoding, res.Size())
+	}
+	if res.Size() > 8 {
+		t.Fatalf("FVC size = %d, want <= 8", res.Size())
+	}
+	out, err := s.Decompress(res.Encoding, res.Data)
+	if err != nil || !block.Equal(&b, &out) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+}
+
+func TestSelectorKeepsBDIWhenSmaller(t *testing.T) {
+	dict, err := fvc.NewDict([]uint32{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Selector{FVC: dict}
+	var zero block.Block
+	res := s.Compress(&zero)
+	if res.Encoding != EncBDIZeros || res.Size() != 1 {
+		t.Fatalf("zero line: %v/%d, want bdi-zeros/1", res.Encoding, res.Size())
+	}
+}
+
+func TestFVCWithoutDictErrors(t *testing.T) {
+	var s Selector
+	if _, err := s.Decompress(EncFVC, []byte{1, 2}); err == nil {
+		t.Fatal("FVC decompress without dictionary accepted")
+	}
+	if _, err := Decompress(EncFVC, []byte{1, 2}); err == nil {
+		t.Fatal("package-level FVC decompress accepted")
+	}
+}
+
+func TestEncFVCProperties(t *testing.T) {
+	if !EncFVC.IsCompressed() {
+		t.Error("FVC should count as compressed")
+	}
+	if EncFVC.String() != "fvc" {
+		t.Errorf("name = %q", EncFVC.String())
+	}
+	if EncFVC >= NumEncodings {
+		t.Error("EncFVC outside the valid encoding range")
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+// Ablation tests for the design choices DESIGN.md §5 calls out: the SC
+// heuristic, the ECC scheme swap, Flip-N-Write, and dead-line resurrection.
+// Each checks the *direction* of the effect at miniature scale.
+
+import (
+	"testing"
+
+	"pcmcomp/internal/block"
+	"pcmcomp/internal/ecc/aegis"
+	"pcmcomp/internal/ecc/safer"
+	"pcmcomp/internal/rng"
+)
+
+// oscillatingWriter alternates between a 16-byte (B8D1) and a 40-byte
+// (B8D4) encoding of nearly identical raw data: one word toggles between a
+// small and a large delta. Raw storage flips only that word's bits, but
+// compressed storage re-lays-out the whole delta array every write — the
+// exact entropy pathology the Fig 8 heuristic suppresses.
+func oscillatingWriter(t *testing.T, c *Controller, writes int) (flips uint64) {
+	t.Helper()
+	r := rng.New(5)
+	base := uint64(0x0123_4567_89ab_0000)
+	for i := 0; i < writes; i++ {
+		var data block.Block
+		data.SetWord(0, base)
+		for w := 1; w < 7; w++ {
+			data.SetWord(w, base+uint64(w))
+		}
+		if i%2 == 0 {
+			data.SetWord(7, base+uint64(r.Intn(100))) // fits 1-byte delta
+		} else {
+			data.SetWord(7, base+1<<25+uint64(r.Intn(100))) // needs 4 bytes
+		}
+		// Odd modulus so every line sees both sizes alternately.
+		c.Write(i%(c.LogicalLines()-1), &data)
+	}
+	return c.Stats().BitFlips
+}
+
+func TestAblationSCHeuristicReducesFlips(t *testing.T) {
+	build := func(useSC bool) *Controller {
+		cfg := DefaultConfig(Comp, testMemory(1e9, 0.15))
+		cfg.UseSCHeuristic = useSC
+		c := mustController(t, cfg)
+		return c
+	}
+	const writes = 4000
+	withSC := oscillatingWriter(t, build(true), writes)
+	withoutSC := oscillatingWriter(t, build(false), writes)
+	if withSC >= withoutSC {
+		t.Errorf("SC heuristic should cut flips on size-unstable data: with=%d without=%d",
+			withSC, withoutSC)
+	}
+}
+
+func TestAblationFNWReducesFlips(t *testing.T) {
+	run := func(useFNW bool) uint64 {
+		cfg := DefaultConfig(Baseline, testMemory(1e9, 0.15))
+		cfg.UseFNW = useFNW
+		c := mustController(t, cfg)
+		r := rng.New(9)
+		for i := 0; i < 3000; i++ {
+			data := randomBlock(r.Uint64())
+			c.Write(i%c.LogicalLines(), &data)
+		}
+		return c.Stats().BitFlips
+	}
+	with, without := run(true), run(false)
+	if with >= without {
+		t.Errorf("FNW should reduce flips on random data: with=%d without=%d", with, without)
+	}
+	// FNW bounds flips to half the window per write.
+	cfg := DefaultConfig(Baseline, testMemory(1e9, 0.15))
+	cfg.UseFNW = true
+	c := mustController(t, cfg)
+	r := rng.New(10)
+	for i := 0; i < 200; i++ {
+		data := randomBlock(r.Uint64())
+		out := c.Write(0, &data)
+		if out.FlipsWritten > block.Bits/2 {
+			t.Fatalf("FNW wrote %d flips > half the line", out.FlipsWritten)
+		}
+	}
+}
+
+func TestAblationSchemeSwapExtendsLife(t *testing.T) {
+	// Under Comp+WF, SAFER-32 and Aegis should tolerate at least as many
+	// faults per line as ECP-6 (Fig 9's partitioning argument).
+	faultsAtDeath := func(schemeName string) float64 {
+		cfg := DefaultConfig(CompWF, testMemory(250, 0.25))
+		cfg.StartGapPsi = 1 << 30
+		cfg.MaxPlaceRetries = 16
+		switch schemeName {
+		case "safer":
+			cfg.Scheme = safer.New(5)
+		case "aegis":
+			cfg.Scheme = aegis.MustNew(17, 31)
+		}
+		c := mustController(t, cfg)
+		r := rng.New(3)
+		for i := 0; i < 200000; i++ {
+			data := compressibleBlock(r.Uint64())
+			if out := c.Write(0, &data); out.Died {
+				s := c.Stats()
+				return s.DeathFaultCells.Mean()
+			}
+		}
+		t.Fatalf("%s: line never died", schemeName)
+		return 0
+	}
+	ecpF := faultsAtDeath("ecp")
+	saferF := faultsAtDeath("safer")
+	aegisF := faultsAtDeath("aegis")
+	if saferF < ecpF*0.9 {
+		t.Errorf("SAFER died at %.0f faults, ECP at %.0f; partition schemes should not be worse", saferF, ecpF)
+	}
+	if aegisF < ecpF*0.9 {
+		t.Errorf("Aegis died at %.0f faults, ECP at %.0f", aegisF, ecpF)
+	}
+}
+
+func TestAblationResurrectionIncreasesUsableCapacity(t *testing.T) {
+	// With resurrection (Comp+WF) the dead fraction under a compressible
+	// late phase must drop below the no-resurrection system's.
+	run := func(sys SystemKind) float64 {
+		cfg := DefaultConfig(sys, testMemory(25, 0.1))
+		cfg.StartGapPsi = 3
+		c := mustController(t, cfg)
+		r := rng.New(13)
+		// Phase 1: incompressible writes kill lines.
+		for i := 0; i < 30000; i++ {
+			data := randomBlock(r.Uint64())
+			c.Write(r.Intn(c.LogicalLines()), &data)
+		}
+		// Phase 2: highly compressible writes.
+		var zero block.Block
+		for i := 0; i < 30000; i++ {
+			c.Write(r.Intn(c.LogicalLines()), &zero)
+		}
+		return c.DeadFraction()
+	}
+	withF := run(CompWF)
+	withoutF := run(CompW)
+	if withF > withoutF {
+		t.Errorf("resurrection should not leave more dead lines: Comp+WF %.2f vs Comp+W %.2f",
+			withF, withoutF)
+	}
+}
+
+func TestAblationIntraStepSizeSweep(t *testing.T) {
+	// Any step size must keep the controller correct (read-back holds);
+	// the paper settled on 1 byte after a sensitivity analysis.
+	for _, step := range []int{1, 2, 4, 8} {
+		cfg := DefaultConfig(CompW, testMemory(1e7, 0.15))
+		cfg.IntraStepBytes = step
+		cfg.IntraCounterBits = 4
+		c := mustController(t, cfg)
+		r := rng.New(uint64(step))
+		for i := 0; i < 2000; i++ {
+			addr := r.Intn(c.LogicalLines())
+			data := compressibleBlock(r.Uint64())
+			if out := c.Write(addr, &data); out.Stored {
+				got, _, err := c.Read(addr)
+				if err != nil || !block.Equal(&got, &data) {
+					t.Fatalf("step %d: read-back broken at write %d: %v", step, i, err)
+				}
+			}
+		}
+	}
+}
+
+func TestAblationThresholdSweep(t *testing.T) {
+	// The SC heuristic must behave sanely across threshold settings: with
+	// Threshold1=64 every write is "highly compressible" (always
+	// compress); the raw-write path must never fire.
+	cfg := DefaultConfig(Comp, testMemory(1e9, 0.15))
+	cfg.Threshold1 = 64
+	c := mustController(t, cfg)
+	r := rng.New(21)
+	for i := 0; i < 2000; i++ {
+		data := compressibleBlock(r.Uint64())
+		c.Write(i%c.LogicalLines(), &data)
+	}
+	if c.Stats().HeuristicRawWrites != 0 {
+		t.Error("Threshold1=64 must disable the raw-write path for compressible data")
+	}
+
+	// Threshold1=1 and Threshold2=1: maximal SC pressure; controller must
+	// remain correct and still store data.
+	cfg = DefaultConfig(Comp, testMemory(1e9, 0.15))
+	cfg.Threshold1 = 1
+	cfg.Threshold2 = 1
+	c = mustController(t, cfg)
+	stored := 0
+	for i := 0; i < 2000; i++ {
+		data := compressibleBlock(r.Uint64())
+		if out := c.Write(i%c.LogicalLines(), &data); out.Stored {
+			stored++
+		}
+	}
+	if stored != 2000 {
+		t.Errorf("only %d/2000 writes stored under tight thresholds", stored)
+	}
+}

@@ -1,0 +1,274 @@
+// Package core implements the DSN'17 paper's primary contribution: a PCM
+// memory controller that stores LLC write-backs compressed inside a
+// variable-size compression window of each line, and coordinates that
+// window with differential writes, intra-line and inter-line wear-leveling,
+// and the hard-error tolerance scheme.
+//
+// The controller supports the four systems the paper evaluates (§IV):
+//
+//   - Baseline: uncompressed writes + chip-level DW + Start-Gap + ECP-6.
+//   - Comp:     naive compression — the window sits at the least-significant
+//     bytes and slides only when faults force it.
+//   - Comp+W:   adds the per-bank counter-based intra-line wear-leveling
+//     that rotates window origins across the line.
+//   - Comp+WF:  adds the advanced fault-tolerance definition — a line is
+//     never permanently dead; inter-line wear-leveling re-attempts
+//     placement so highly compressible data can resurrect it.
+//
+// Per-line metadata follows §III-B: a 6-bit window start pointer, 5-bit
+// encoding, 2-bit saturating counter (SC) and a compressed flag, all fitting
+// the spare bits of the ECC chip share.
+package core
+
+import (
+	"fmt"
+
+	"pcmcomp/internal/block"
+	"pcmcomp/internal/compress"
+	"pcmcomp/internal/ecc"
+	"pcmcomp/internal/ecc/ecp"
+	"pcmcomp/internal/pcm"
+	"pcmcomp/internal/wear"
+)
+
+// SystemKind selects which of the paper's four evaluated systems the
+// controller implements.
+type SystemKind int
+
+// The four systems of §IV ("Evaluated systems").
+const (
+	Baseline SystemKind = iota + 1
+	Comp
+	CompW
+	CompWF
+)
+
+// String returns the paper's name for the system.
+func (s SystemKind) String() string {
+	switch s {
+	case Baseline:
+		return "Baseline"
+	case Comp:
+		return "Comp"
+	case CompW:
+		return "Comp+W"
+	case CompWF:
+		return "Comp+WF"
+	default:
+		return fmt.Sprintf("SystemKind(%d)", int(s))
+	}
+}
+
+// usesCompression reports whether the system compresses write-backs.
+func (s SystemKind) usesCompression() bool { return s != Baseline }
+
+// usesIntraWL reports whether the system rotates window origins.
+func (s SystemKind) usesIntraWL() bool { return s == CompW || s == CompWF }
+
+// Config parameterizes a Controller.
+type Config struct {
+	// System selects the evaluated system.
+	System SystemKind
+	// Memory configures the PCM substrate.
+	Memory pcm.Config
+	// Scheme is the hard-error tolerance scheme (nil selects ECP-6, the
+	// paper's baseline).
+	Scheme ecc.Scheme
+	// Threshold1 is the compressed-size bound (bytes) under which data is
+	// always written compressed (Fig 8, step 1).
+	Threshold1 int
+	// Threshold2 is the size-change bound (bytes): consecutive compressed
+	// sizes differing by less than this decrement SC (Fig 8, step 3).
+	Threshold2 int
+	// UseSCHeuristic enables the Fig 8 bit-flip control flow. The paper's
+	// compressed systems all use it; disable for the ablation benches.
+	UseSCHeuristic bool
+	// UseFNW replaces plain differential writes with Flip-N-Write at the
+	// window granularity (extension; DESIGN.md §5).
+	UseFNW bool
+	// StartGapPsi is the inter-line wear-leveling gap-movement period.
+	StartGapPsi int
+	// IntraCounterBits and IntraStepBytes configure the per-bank intra-line
+	// rotation (paper: 16 bits, 1 byte).
+	IntraCounterBits int
+	IntraStepBytes   int
+	// MaxPlaceRetries bounds re-placement attempts when cells die during
+	// the write itself.
+	MaxPlaceRetries int
+}
+
+// DefaultConfig returns the paper's configuration for the given system on
+// the given memory substrate: ECP-6, Start-Gap psi 100, 16-bit/1-byte
+// intra-line rotation, SC heuristic on, thresholds 16/8 bytes.
+func DefaultConfig(system SystemKind, mem pcm.Config) Config {
+	return Config{
+		System:           system,
+		Memory:           mem,
+		Scheme:           ecp.New(6),
+		Threshold1:       16,
+		Threshold2:       8,
+		UseSCHeuristic:   true,
+		StartGapPsi:      100,
+		IntraCounterBits: 16,
+		IntraStepBytes:   1,
+		MaxPlaceRetries:  4,
+	}
+}
+
+// lineMeta is the controller's per-physical-line state. The first four
+// fields model the 13-bit in-memory metadata of §III-B plus the compressed
+// flag; payload models the logically stored (ECC-corrected) content, which
+// a real system reconstructs from the physical cells plus the correction
+// metadata.
+type lineMeta struct {
+	start        uint8 // 6-bit window start pointer (byte offset)
+	enc          compress.Encoding
+	sc           uint8 // 2-bit saturating counter
+	size         uint8 // stored payload size in bytes (0 = never written)
+	prevCompSize uint8 // compressed size of the previous write-back
+	dead         bool
+	payload      []byte
+}
+
+func (m *lineMeta) written() bool { return m.size != 0 }
+
+// bankState bundles the per-bank mechanisms: Start-Gap over the bank's rows
+// and the intra-line rotation counter.
+type bankState struct {
+	sg   *wear.StartGap
+	rot  *wear.IntraLine
+	meta []lineMeta // indexed by physical row
+}
+
+// Controller is the compression-aware PCM memory controller.
+type Controller struct {
+	cfg       Config
+	mem       *pcm.Memory
+	banks     []bankState
+	stats     Stats
+	deadCount int
+}
+
+// New creates a controller. It returns an error for invalid configuration.
+func New(cfg Config) (*Controller, error) {
+	switch cfg.System {
+	case Baseline, Comp, CompW, CompWF:
+	default:
+		return nil, fmt.Errorf("core: unknown system kind %d", cfg.System)
+	}
+	if err := cfg.Memory.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Memory.Geometry.LinesPerBank < 2 {
+		return nil, fmt.Errorf("core: need >= 2 lines per bank (one is the Start-Gap spare), got %d",
+			cfg.Memory.Geometry.LinesPerBank)
+	}
+	if cfg.Scheme == nil {
+		cfg.Scheme = ecp.New(6)
+	}
+	if cfg.Threshold1 < 1 || cfg.Threshold1 > block.Size {
+		return nil, fmt.Errorf("core: Threshold1 %d out of range [1,%d]", cfg.Threshold1, block.Size)
+	}
+	if cfg.Threshold2 < 1 || cfg.Threshold2 > block.Size {
+		return nil, fmt.Errorf("core: Threshold2 %d out of range [1,%d]", cfg.Threshold2, block.Size)
+	}
+	if cfg.StartGapPsi < 1 {
+		return nil, fmt.Errorf("core: StartGapPsi must be >= 1, got %d", cfg.StartGapPsi)
+	}
+	if cfg.MaxPlaceRetries < 1 {
+		cfg.MaxPlaceRetries = 1
+	}
+
+	g := cfg.Memory.Geometry
+	c := &Controller{
+		cfg:   cfg,
+		mem:   pcm.New(cfg.Memory),
+		banks: make([]bankState, g.Banks()),
+	}
+	logicalRows := g.LinesPerBank - 1 // one physical row is the Start-Gap spare
+	for i := range c.banks {
+		sg, err := wear.NewStartGap(logicalRows, cfg.StartGapPsi)
+		if err != nil {
+			return nil, err
+		}
+		rot, err := wear.NewIntraLine(cfg.IntraCounterBits, cfg.IntraStepBytes, block.Size)
+		if err != nil {
+			return nil, err
+		}
+		c.banks[i] = bankState{
+			sg:   sg,
+			rot:  rot,
+			meta: make([]lineMeta, g.LinesPerBank),
+		}
+	}
+	return c, nil
+}
+
+// System returns the controller's system kind.
+func (c *Controller) System() SystemKind { return c.cfg.System }
+
+// Scheme returns the hard-error tolerance scheme in use.
+func (c *Controller) Scheme() ecc.Scheme { return c.cfg.Scheme }
+
+// LogicalLines returns the number of writable logical lines.
+func (c *Controller) LogicalLines() int {
+	return len(c.banks) * (c.cfg.Memory.Geometry.LinesPerBank - 1)
+}
+
+// PhysicalLines returns the total number of physical lines.
+func (c *Controller) PhysicalLines() int {
+	return c.cfg.Memory.Geometry.TotalLines()
+}
+
+// Memory exposes the underlying PCM substrate (read-only use intended).
+func (c *Controller) Memory() *pcm.Memory { return c.mem }
+
+// locate splits a logical line address into its bank and per-bank logical
+// row. Logical addresses interleave across banks, matching pcm.Geometry.
+func (c *Controller) locate(addr int) (bank, logicalRow int) {
+	if addr < 0 || addr >= c.LogicalLines() {
+		panic(fmt.Sprintf("core: logical address %d out of range [0,%d)", addr, c.LogicalLines()))
+	}
+	return addr % len(c.banks), addr / len(c.banks)
+}
+
+// physAddr converts a (bank, physical row) pair into a global line address
+// for the pcm.Memory.
+func (c *Controller) physAddr(bank, row int) int {
+	return c.cfg.Memory.Geometry.Encode(pcm.Location{Bank: bank, Row: row})
+}
+
+// Read returns the logical content of the line at the logical address,
+// together with the modeled decompression latency in CPU cycles. Reading a
+// dead line or a never-written line returns an error.
+func (c *Controller) Read(addr int) (block.Block, int, error) {
+	bank, lrow := c.locate(addr)
+	bs := &c.banks[bank]
+	row := bs.sg.Map(lrow)
+	meta := &bs.meta[row]
+	var out block.Block
+	if meta.dead {
+		return out, 0, fmt.Errorf("core: line %d is dead (uncorrectable)", addr)
+	}
+	if !meta.written() {
+		return out, 0, fmt.Errorf("core: line %d has never been written", addr)
+	}
+	out, err := compress.Decompress(meta.enc, meta.payload)
+	if err != nil {
+		return out, 0, fmt.Errorf("core: corrupt line %d: %w", addr, err)
+	}
+	c.stats.Reads++
+	if meta.enc.IsCompressed() {
+		c.stats.CompressedReads++
+	}
+	return out, meta.enc.DecompressionCycles(), nil
+}
+
+// DeadLines returns the number of currently dead physical lines.
+func (c *Controller) DeadLines() int { return c.deadCount }
+
+// DeadFraction returns dead physical lines / total physical lines, the
+// quantity the paper's 50% end-of-life criterion tests.
+func (c *Controller) DeadFraction() float64 {
+	return float64(c.DeadLines()) / float64(c.PhysicalLines())
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"pcmcomp/internal/compress"
+)
+
+// Metadata is the paper's §III-B per-line in-memory metadata: a 6-bit
+// pointer to the start of the compression window, 5 bits of encoding
+// information for the decompressor, and the 2-bit saturating counter —
+// 13 bits stored at the head of the line's ECC-chip share, plus a
+// compressed flag kept in one of ECP-6's three spare bits (64 - 61).
+//
+// The controller keeps this state in its lineMeta; Metadata is the
+// wire/storage form, provided so tools and tests can round-trip exactly
+// what the hardware would store.
+type Metadata struct {
+	// Start is the window origin byte (6 bits, 0-63).
+	Start uint8
+	// Encoding is the 5-bit compression encoding.
+	Encoding compress.Encoding
+	// SC is the 2-bit saturating counter of the Fig 8 heuristic.
+	SC uint8
+	// Compressed is the spare-bit flag marking compressed lines.
+	Compressed bool
+}
+
+// MetadataBits is the in-line metadata width (excluding the spare-bit
+// compressed flag).
+const MetadataBits = 6 + compress.MetadataBits + 2
+
+// Pack encodes the metadata into its 14-bit storage image: bits 0-5 the
+// start pointer, 6-10 the encoding, 11-12 the SC, 13 the compressed flag.
+func (m Metadata) Pack() (uint16, error) {
+	if m.Start > 63 {
+		return 0, fmt.Errorf("core: start pointer %d exceeds 6 bits", m.Start)
+	}
+	if m.Encoding >= compress.NumEncodings {
+		return 0, fmt.Errorf("core: encoding %d exceeds 5 bits", m.Encoding)
+	}
+	if m.SC > 3 {
+		return 0, fmt.Errorf("core: SC %d exceeds 2 bits", m.SC)
+	}
+	v := uint16(m.Start) | uint16(m.Encoding)<<6 | uint16(m.SC)<<11
+	if m.Compressed {
+		v |= 1 << 13
+	}
+	return v, nil
+}
+
+// UnpackMetadata decodes a storage image produced by Pack.
+func UnpackMetadata(v uint16) (Metadata, error) {
+	if v>>14 != 0 {
+		return Metadata{}, fmt.Errorf("core: metadata image %#x exceeds 14 bits", v)
+	}
+	m := Metadata{
+		Start:      uint8(v & 0x3f),
+		Encoding:   compress.Encoding(v >> 6 & 0x1f),
+		SC:         uint8(v >> 11 & 0x3),
+		Compressed: v>>13&1 == 1,
+	}
+	if m.Encoding >= compress.NumEncodings {
+		return Metadata{}, fmt.Errorf("core: invalid encoding %d in metadata image", m.Encoding)
+	}
+	return m, nil
+}
+
+// LineMetadata returns the storage-form metadata of the line at the given
+// logical address (for inspection tools).
+func (c *Controller) LineMetadata(addr int) (Metadata, error) {
+	bank, lrow := c.locate(addr)
+	bs := &c.banks[bank]
+	meta := &bs.meta[bs.sg.Map(lrow)]
+	if !meta.written() {
+		return Metadata{}, fmt.Errorf("core: line %d has never been written", addr)
+	}
+	return Metadata{
+		Start:      meta.start,
+		Encoding:   meta.enc,
+		SC:         meta.sc,
+		Compressed: meta.enc.IsCompressed(),
+	}, nil
+}

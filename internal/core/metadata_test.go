@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pcmcomp/internal/compress"
+)
+
+func TestMetadataPackUnpackRoundTrip(t *testing.T) {
+	f := func(start, sc uint8, enc uint8, compressed bool) bool {
+		m := Metadata{
+			Start:      start % 64,
+			Encoding:   compress.Encoding(enc % uint8(compress.NumEncodings)),
+			SC:         sc % 4,
+			Compressed: compressed,
+		}
+		v, err := m.Pack()
+		if err != nil {
+			return false
+		}
+		back, err := UnpackMetadata(v)
+		return err == nil && back == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetadataPackRejectsOutOfRange(t *testing.T) {
+	cases := []Metadata{
+		{Start: 64},
+		{Encoding: compress.Encoding(compress.NumEncodings)},
+		{SC: 4},
+	}
+	for i, m := range cases {
+		if _, err := m.Pack(); err == nil {
+			t.Errorf("case %d: out-of-range metadata packed", i)
+		}
+	}
+}
+
+func TestUnpackMetadataRejectsJunk(t *testing.T) {
+	if _, err := UnpackMetadata(1 << 14); err == nil {
+		t.Error("15-bit image accepted")
+	}
+	// Encoding field 31 is invalid (NumEncodings = 10).
+	if _, err := UnpackMetadata(31 << 6); err == nil {
+		t.Error("invalid encoding accepted")
+	}
+}
+
+func TestMetadataBitsMatchPaper(t *testing.T) {
+	// §III-B: 6 (start pointer) + 5 (encoding) + 2 (SC) = 13 bits, with
+	// the compressed flag in an ECP-6 spare bit.
+	if MetadataBits != 13 {
+		t.Fatalf("metadata = %d bits, paper says 13", MetadataBits)
+	}
+}
+
+func TestLineMetadataReflectsWrites(t *testing.T) {
+	c := mustController(t, DefaultConfig(CompWF, testMemory(1e6, 0.15)))
+	if _, err := c.LineMetadata(0); err == nil {
+		t.Fatal("metadata of never-written line should error")
+	}
+	data := compressibleBlock(3)
+	out := c.Write(0, &data)
+	if !out.Stored {
+		t.Fatal("write failed")
+	}
+	m, err := c.LineMetadata(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Compressed || !m.Encoding.IsCompressed() {
+		t.Fatal("compressible write not marked compressed")
+	}
+	if int(m.Start) != out.WindowStart {
+		t.Fatalf("metadata start %d != outcome window %d", m.Start, out.WindowStart)
+	}
+	if _, err := m.Pack(); err != nil {
+		t.Fatalf("live metadata does not pack: %v", err)
+	}
+
+	raw := randomBlock(4)
+	c.Write(1, &raw)
+	m, err = c.LineMetadata(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Compressed {
+		t.Fatal("raw write marked compressed")
+	}
+}

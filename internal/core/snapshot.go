@@ -1,0 +1,164 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"pcmcomp/internal/compress"
+)
+
+// Checkpointing: WriteSnapshot captures the controller's complete
+// simulation state — wear-leveling registers, per-line metadata, and the
+// physical PCM state — so long lifetime runs can pause and resume.
+// ReadSnapshot restores into a controller built from the identical Config;
+// continued simulation is then bit-for-bit identical to an uninterrupted
+// run (endurance sampling is deterministic in (seed, address), and the
+// controller itself holds no other randomness). Telemetry counters
+// (Stats) are intentionally not part of a snapshot: they reset on restore.
+
+const ctrlSnapshotMagic = "PCMC"
+
+// WriteSnapshot serializes the controller state to w.
+func (c *Controller) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(ctrlSnapshotMagic); err != nil {
+		return fmt.Errorf("core: write snapshot magic: %w", err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(len(c.banks))); err != nil {
+		return err
+	}
+	for i := range c.banks {
+		bs := &c.banks[i]
+		start, gap, count := bs.sg.State()
+		rcount, roffset, rrot := bs.rot.State()
+		for _, v := range []uint64{
+			uint64(start), uint64(gap), uint64(count),
+			uint64(rcount), uint64(roffset), uint64(rrot),
+			uint64(len(bs.meta)),
+		} {
+			if err := writeUvarint(v); err != nil {
+				return err
+			}
+		}
+		for j := range bs.meta {
+			meta := &bs.meta[j]
+			flags := uint64(0)
+			if meta.dead {
+				flags |= 1
+			}
+			for _, v := range []uint64{
+				uint64(meta.start), uint64(meta.enc), uint64(meta.sc),
+				uint64(meta.size), uint64(meta.prevCompSize), flags,
+				uint64(len(meta.payload)),
+			} {
+				if err := writeUvarint(v); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.Write(meta.payload); err != nil {
+				return err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: flush snapshot: %w", err)
+	}
+	return c.mem.WriteSnapshot(w)
+}
+
+// ReadSnapshot restores state serialized by WriteSnapshot. c must be a
+// controller freshly built from the same Config used at snapshot time. On
+// error the controller may be partially restored and must be discarded.
+func (c *Controller) ReadSnapshot(r io.Reader) error {
+	// The controller section is parsed through a byte-at-a-time reader so
+	// the memory section that follows starts at the right offset.
+	br := &byteReader{r: r}
+	var magic [len(ctrlSnapshotMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("core: read snapshot magic: %w", err)
+	}
+	if string(magic[:]) != ctrlSnapshotMagic {
+		return fmt.Errorf("core: bad snapshot magic %q", magic)
+	}
+	banks, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("core: read bank count: %w", err)
+	}
+	if banks != uint64(len(c.banks)) {
+		return fmt.Errorf("core: snapshot has %d banks, controller %d", banks, len(c.banks))
+	}
+	c.deadCount = 0
+	for i := range c.banks {
+		bs := &c.banks[i]
+		var vals [7]uint64
+		for vi := range vals {
+			if vals[vi], err = binary.ReadUvarint(br); err != nil {
+				return fmt.Errorf("core: read bank %d header: %w", i, err)
+			}
+		}
+		if err := bs.sg.RestoreState(int(vals[0]), int(vals[1]), int(vals[2])); err != nil {
+			return fmt.Errorf("core: bank %d: %w", i, err)
+		}
+		if err := bs.rot.RestoreState(uint32(vals[3]), int(vals[4]), int(vals[5])); err != nil {
+			return fmt.Errorf("core: bank %d: %w", i, err)
+		}
+		if vals[6] != uint64(len(bs.meta)) {
+			return fmt.Errorf("core: snapshot bank %d has %d rows, controller %d",
+				i, vals[6], len(bs.meta))
+		}
+		for j := range bs.meta {
+			var mv [7]uint64
+			for vi := range mv {
+				if mv[vi], err = binary.ReadUvarint(br); err != nil {
+					return fmt.Errorf("core: read bank %d row %d: %w", i, j, err)
+				}
+			}
+			if mv[1] >= compress.NumEncodings && mv[3] != 0 {
+				return fmt.Errorf("core: bank %d row %d has invalid encoding %d", i, j, mv[1])
+			}
+			if mv[6] > 64 {
+				return fmt.Errorf("core: bank %d row %d payload %dB too large", i, j, mv[6])
+			}
+			meta := &bs.meta[j]
+			meta.start = uint8(mv[0])
+			meta.enc = compress.Encoding(mv[1])
+			meta.sc = uint8(mv[2])
+			meta.size = uint8(mv[3])
+			meta.prevCompSize = uint8(mv[4])
+			meta.dead = mv[5]&1 == 1
+			if meta.dead {
+				c.deadCount++
+			}
+			meta.payload = make([]byte, mv[6])
+			if _, err := io.ReadFull(br, meta.payload); err != nil {
+				return fmt.Errorf("core: read bank %d row %d payload: %w", i, j, err)
+			}
+		}
+	}
+	c.stats = Stats{}
+	return c.mem.ReadSnapshot(br)
+}
+
+// byteReader adapts an io.Reader to io.ByteReader without buffering ahead,
+// so the stream position stays exact between sections.
+type byteReader struct {
+	r   io.Reader
+	one [1]byte
+}
+
+func (b *byteReader) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+func (b *byteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.one[:]); err != nil {
+		return 0, err
+	}
+	return b.one[0], nil
+}

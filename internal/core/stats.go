@@ -1,0 +1,48 @@
+package core
+
+import "pcmcomp/internal/stats"
+
+// Stats aggregates the controller's lifetime-relevant counters. All fields
+// are cumulative since construction.
+type Stats struct {
+	// Writes counts physical line writes (demand write-backs + Start-Gap
+	// copies). DroppedWrites of those hit dead lines and stored nothing.
+	Writes        uint64
+	DroppedWrites uint64
+	// CompressedWrites counts stored-compressed writes;
+	// HeuristicRawWrites counts writes the Fig 8 flow forced to raw.
+	CompressedWrites   uint64
+	HeuristicRawWrites uint64
+	// Reads and CompressedReads count controller read operations.
+	Reads           uint64
+	CompressedReads uint64
+	// BitFlips counts cells actually programmed (after DW and, when
+	// enabled, FNW); SetPulses/ResetPulses split them for energy
+	// accounting; NewFaults counts cells worn out.
+	BitFlips    uint64
+	SetPulses   uint64
+	ResetPulses uint64
+	NewFaults   uint64
+	// UncorrectableErrors counts writes that could not be stored — the
+	// paper's headline reliability metric.
+	UncorrectableErrors uint64
+	// GapMovements and Rotations count inter-/intra-line wear-leveling
+	// activity; Resurrections counts dead lines revived by Comp+WF.
+	GapMovements  uint64
+	Rotations     uint64
+	Resurrections uint64
+	// FNWInversions counts Flip-N-Write complement writes.
+	FNWInversions uint64
+	// StartPointerUpdates and EncodingUpdates count per-line metadata
+	// rewrites, backing §III-B's claim that metadata wear is negligible:
+	// the start pointer changes only on rotation/sliding and the coding
+	// bits only when the compressed size class changes.
+	StartPointerUpdates uint64
+	EncodingUpdates     uint64
+	// DeathFaultCells tracks, over line-death events, how many faulty
+	// cells the line had accumulated when it died (Fig 12's metric).
+	DeathFaultCells stats.Running
+}
+
+// Stats returns a snapshot of the controller's counters.
+func (c *Controller) Stats() Stats { return c.stats }

@@ -1,0 +1,154 @@
+// Package aegis implements the Aegis stuck-at-fault recovery scheme of Fan
+// et al., "Aegis: Partitioning Data Block for Efficient Recovery of
+// Stuck-at-Faults in Phase Change Memory" (MICRO 2013), in the 17x31
+// configuration the DSN'17 paper evaluates.
+//
+// Aegis k x m (k <= m, m prime, gcd(k, m) = 1) maps cell i of the line onto
+// grid coordinates (x, y) = (i mod k, i mod m) — a CRT mapping, so distinct
+// cells below k*m get distinct coordinates. The partition family consists of
+// the m "slope" partitions rho_a (group of a cell = (y + a*x) mod m, for
+// a in 0..m-1) plus the "row" partition rho_inf (group = x). Any two cells
+// share a group in exactly one family member, so t faults can spoil at most
+// t*(t-1)/2 of the m+1 partitions: with 17x31 (32 partitions), any 8 faults
+// are deterministically separable, and far more probabilistically. As in
+// SAFER, each group carries one flip bit, masking one stuck cell per group.
+package aegis
+
+import (
+	"fmt"
+
+	"pcmcomp/internal/ecc"
+)
+
+// Scheme is the Aegis k x m recovery scheme. Construct with New.
+type Scheme struct {
+	k, m int
+}
+
+var _ ecc.Scheme = (*Scheme)(nil)
+
+// New returns an Aegis scheme over a k x m grid. The paper's configuration
+// is New(17, 31). It returns an error if the geometry cannot cover a
+// 512-cell line or violates gcd(k, m) = 1.
+func New(k, m int) (*Scheme, error) {
+	if k < 1 || m < 1 || k > m {
+		return nil, fmt.Errorf("aegis: invalid grid %dx%d (need 1 <= k <= m)", k, m)
+	}
+	if gcd(k, m) != 1 {
+		return nil, fmt.Errorf("aegis: grid %dx%d requires gcd(k,m) = 1", k, m)
+	}
+	if k*m < 512 {
+		return nil, fmt.Errorf("aegis: grid %dx%d holds %d cells, need >= 512", k, m, k*m)
+	}
+	if !isPrime(m) {
+		return nil, fmt.Errorf("aegis: m = %d must be prime", m)
+	}
+	return &Scheme{k: k, m: m}, nil
+}
+
+// MustNew is New, panicking on invalid geometry; for package-level defaults
+// in tests and benchmarks.
+func MustNew(k, m int) *Scheme {
+	s, err := New(k, m)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Name implements ecc.Scheme.
+func (s *Scheme) Name() string { return fmt.Sprintf("Aegis-%dx%d", s.k, s.m) }
+
+// Partitions returns the size of the partition family (m slopes + rho_inf).
+func (s *Scheme) Partitions() int { return s.m + 1 }
+
+// Correctable implements ecc.Scheme. It reports whether some partition in
+// the family places every faulty cell inside the window into a distinct
+// group.
+func (s *Scheme) Correctable(faults *ecc.FaultSet, startByte, lengthBytes int) bool {
+	n := faults.CountInByteWindow(startByte, lengthBytes)
+	if n <= 1 {
+		return true
+	}
+	if n > s.m { // pigeonhole on the largest partitions (m groups)
+		// rho_inf has only k groups, slopes have m; more than m faults can
+		// never be separated.
+		return false
+	}
+	idx := faults.AppendIndicesInWindow(make([]int, 0, n), startByte, lengthBytes)
+
+	// Deterministic guarantee: t faults spoil at most t(t-1)/2 of the m+1
+	// partitions.
+	if n*(n-1)/2 < s.m+1 {
+		return true
+	}
+
+	xs := make([]int, n)
+	ys := make([]int, n)
+	for i, cell := range idx {
+		xs[i] = cell % s.k
+		ys[i] = cell % s.m
+	}
+	groups := make([]bool, s.m)
+
+	// Slope partitions.
+	for a := 0; a < s.m; a++ {
+		if s.slopeSeparates(a, xs, ys, groups) {
+			return true
+		}
+	}
+	// Row partition rho_inf: group = x.
+	rows := make([]bool, s.k)
+	ok := true
+	for _, x := range xs {
+		if rows[x] {
+			ok = false
+			break
+		}
+		rows[x] = true
+	}
+	return ok
+}
+
+func (s *Scheme) slopeSeparates(a int, xs, ys []int, groups []bool) bool {
+	for i := range groups {
+		groups[i] = false
+	}
+	for i := range xs {
+		g := (ys[i] + a*xs[i]) % s.m
+		if groups[g] {
+			return false
+		}
+		groups[g] = true
+	}
+	return true
+}
+
+// MetadataBits implements ecc.Scheme: a partition selector of
+// ceil(log2(m+1)) bits plus one flip bit per group (m groups worst case).
+func (s *Scheme) MetadataBits() int {
+	sel := 0
+	for 1<<sel < s.m+1 {
+		sel++
+	}
+	return sel + s.m
+}

@@ -1,0 +1,168 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pcmcomp/internal/block"
+	"pcmcomp/internal/rng"
+)
+
+func TestFaultSetBasics(t *testing.T) {
+	var f FaultSet
+	if f.Count() != 0 {
+		t.Fatal("empty set has nonzero count")
+	}
+	f.Add(0)
+	f.Add(511)
+	f.Add(100)
+	if !f.Contains(0) || !f.Contains(511) || !f.Contains(100) || f.Contains(1) {
+		t.Fatal("membership wrong")
+	}
+	if f.Count() != 3 {
+		t.Fatalf("count = %d", f.Count())
+	}
+	f.Add(100) // duplicate add is idempotent
+	if f.Count() != 3 {
+		t.Fatalf("count after dup add = %d", f.Count())
+	}
+	f.Remove(100)
+	if f.Contains(100) || f.Count() != 2 {
+		t.Fatal("remove failed")
+	}
+	f.Clear()
+	if f.Count() != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestCountInByteWindowBruteForce(t *testing.T) {
+	f := func(seed uint64, startRaw, lenRaw uint8) bool {
+		r := rng.New(seed)
+		var fs FaultSet
+		present := make([]bool, block.Bits)
+		for i := 0; i < 30; i++ {
+			c := r.Intn(block.Bits)
+			fs.Add(c)
+			present[c] = true
+		}
+		start := int(startRaw) % block.Size
+		length := int(lenRaw)%(block.Size-start) + 1
+		want := 0
+		for bit := start * 8; bit < (start+length)*8; bit++ {
+			if present[bit] {
+				want++
+			}
+		}
+		return fs.CountInByteWindow(start, length) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendIndicesInWindowMatchesCount(t *testing.T) {
+	f := func(seed uint64, startRaw, lenRaw uint8) bool {
+		r := rng.New(seed)
+		var fs FaultSet
+		for i := 0; i < 25; i++ {
+			fs.Add(r.Intn(block.Bits))
+		}
+		start := int(startRaw) % block.Size
+		length := int(lenRaw)%(block.Size-start) + 1
+		idx := fs.AppendIndicesInWindow(nil, start, length)
+		if len(idx) != fs.CountInByteWindow(start, length) {
+			return false
+		}
+		lo, hi := start*8, (start+length)*8
+		prev := -1
+		for _, v := range idx {
+			if v < lo || v >= hi || v <= prev || !fs.Contains(v) {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndicesFullLine(t *testing.T) {
+	var fs FaultSet
+	want := []int{0, 63, 64, 127, 128, 300, 511}
+	for _, v := range want {
+		fs.Add(v)
+	}
+	got := fs.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("Indices() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWrappedWindowCount(t *testing.T) {
+	var fs FaultSet
+	fs.Add(2)   // byte 0
+	fs.Add(500) // byte 62
+	fs.Add(260) // byte 32
+	// Window of 4 bytes starting at byte 62: bytes 62,63,0,1.
+	if got := fs.CountInByteWindow(62, 4); got != 2 {
+		t.Fatalf("wrapped count = %d, want 2", got)
+	}
+	idx := fs.AppendIndicesInWindow(nil, 62, 4)
+	if len(idx) != 2 {
+		t.Fatalf("wrapped indices = %v", idx)
+	}
+	// Tail faults come first, then head faults.
+	if idx[0] != 500 || idx[1] != 2 {
+		t.Fatalf("wrapped indices = %v, want [500 2]", idx)
+	}
+}
+
+func TestWrappedWindowEqualsComplement(t *testing.T) {
+	f := func(seed uint64, startRaw, lenRaw uint8) bool {
+		r := rng.New(seed)
+		var fs FaultSet
+		for i := 0; i < 40; i++ {
+			fs.Add(r.Intn(block.Bits))
+		}
+		start := int(startRaw) % block.Size
+		length := int(lenRaw)%block.Size + 1
+		// Window + complementary window must cover every fault exactly once.
+		inWin := fs.CountInByteWindow(start, length)
+		compStart := (start + length) % block.Size
+		inComp := fs.CountInByteWindow(compStart, block.Size-length)
+		return inWin+inComp == fs.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowEdges(t *testing.T) {
+	var fs FaultSet
+	fs.Add(7)   // last bit of byte 0
+	fs.Add(8)   // first bit of byte 1
+	fs.Add(504) // first bit of byte 63
+	if got := fs.CountInByteWindow(0, 1); got != 1 {
+		t.Fatalf("byte 0 count = %d", got)
+	}
+	if got := fs.CountInByteWindow(1, 1); got != 1 {
+		t.Fatalf("byte 1 count = %d", got)
+	}
+	if got := fs.CountInByteWindow(63, 1); got != 1 {
+		t.Fatalf("byte 63 count = %d", got)
+	}
+	if got := fs.CountInByteWindow(0, 64); got != 3 {
+		t.Fatalf("full count = %d", got)
+	}
+	if got := fs.CountInByteWindow(2, 61); got != 0 {
+		t.Fatalf("middle count = %d", got)
+	}
+}

@@ -1,0 +1,105 @@
+package ecp
+
+import (
+	"testing"
+
+	"pcmcomp/internal/block"
+	"pcmcomp/internal/ecc"
+	"pcmcomp/internal/rng"
+)
+
+func TestCapacityBoundary(t *testing.T) {
+	s := New(6)
+	var f ecc.FaultSet
+	for i := 0; i < 6; i++ {
+		f.Add(i * 50)
+		if !s.Correctable(&f, 0, block.Size) {
+			t.Fatalf("%d faults should be correctable", i+1)
+		}
+	}
+	f.Add(400)
+	if s.Correctable(&f, 0, block.Size) {
+		t.Fatal("7 faults must exceed ECP-6")
+	}
+}
+
+func TestWindowRestriction(t *testing.T) {
+	s := New(6)
+	var f ecc.FaultSet
+	// 10 faults, all in the upper half of the line.
+	for i := 0; i < 10; i++ {
+		f.Add(256 + i*20)
+	}
+	if s.Correctable(&f, 0, block.Size) {
+		t.Fatal("10 faults over full window must fail")
+	}
+	if !s.Correctable(&f, 0, 32) {
+		t.Fatal("lower half has no faults; a 32-byte window there must succeed")
+	}
+	if s.Correctable(&f, 32, 32) {
+		t.Fatal("upper half holds all 10 faults; must fail")
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	s := New(0)
+	var f ecc.FaultSet
+	if !s.Correctable(&f, 0, block.Size) {
+		t.Fatal("no faults must always be correctable")
+	}
+	f.Add(5)
+	if s.Correctable(&f, 0, block.Size) {
+		t.Fatal("ECP-0 corrects nothing")
+	}
+}
+
+func TestMetadataFitsECCChip(t *testing.T) {
+	// ECP-6 = 61 bits; the paper notes 3 spare bits remain in the 64-bit
+	// ECC-chip share, one of which flags compressed lines.
+	s := New(6)
+	if got := s.MetadataBits(); got != 61 {
+		t.Fatalf("ECP-6 metadata = %d bits, want 61", got)
+	}
+	if s.MetadataBits() > 64 {
+		t.Fatal("metadata exceeds ECC chip budget")
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(6).Name() != "ECP-6" {
+		t.Fatalf("name = %q", New(6).Name())
+	}
+	if New(12).Name() != "ECP-12" {
+		t.Fatalf("name = %q", New(12).Name())
+	}
+	if New(6).Capacity() != 6 {
+		t.Fatal("capacity accessor wrong")
+	}
+}
+
+func TestNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative capacity")
+		}
+	}()
+	New(-1)
+}
+
+func TestMonotoneInFaults(t *testing.T) {
+	// Adding a fault can never make an uncorrectable window correctable.
+	r := rng.New(8)
+	s := New(6)
+	for trial := 0; trial < 200; trial++ {
+		var f ecc.FaultSet
+		prev := true
+		for i := 0; i < 12; i++ {
+			f.Add(r.Intn(block.Bits))
+			cur := s.Correctable(&f, 0, block.Size)
+			if cur && !prev {
+				t.Fatal("correctability is not monotone")
+			}
+			prev = cur
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package safer implements the SAFER stuck-at-fault recovery scheme of
+// Seong et al., "SAFER: Stuck-At-Fault Error Recovery for Memories"
+// (MICRO 2010), in the SAFER-32 configuration the DSN'17 paper evaluates.
+//
+// SAFER-2^k dynamically partitions the 512-bit line into 2^k groups by
+// selecting k of the 9 cell-index bits: a cell belongs to the group formed
+// by the values of its index at the selected bit positions. Each group
+// carries one flip bit, so a group containing at most one stuck cell can
+// always be stored (write the data or its complement so the stuck cell
+// matches). A line is recoverable iff some selection of k index bits puts
+// every faulty data cell into a distinct group. SAFER-32 (k = 5)
+// deterministically corrects 6 faults and probabilistically up to 32.
+package safer
+
+import (
+	"strconv"
+
+	"pcmcomp/internal/ecc"
+)
+
+const indexBits = 9 // 512-cell line => 9-bit cell index
+
+// Scheme is the SAFER-2^k recovery scheme. Construct with New.
+type Scheme struct {
+	k          int
+	selections []uint16 // all k-of-9 bit masks
+}
+
+var _ ecc.Scheme = (*Scheme)(nil)
+
+// New returns a SAFER scheme with 2^k groups. The paper's configuration is
+// New(5) (SAFER-32). k must be in [1, 9].
+func New(k int) *Scheme {
+	if k < 1 || k > indexBits {
+		panic("safer: group-count exponent out of range [1,9]")
+	}
+	return &Scheme{k: k, selections: enumerateMasks(k)}
+}
+
+// enumerateMasks returns every 9-bit mask with exactly k bits set.
+func enumerateMasks(k int) []uint16 {
+	var masks []uint16
+	for m := 0; m < 1<<indexBits; m++ {
+		if popcount9(uint16(m)) == k {
+			masks = append(masks, uint16(m))
+		}
+	}
+	return masks
+}
+
+func popcount9(m uint16) int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// Name implements ecc.Scheme.
+func (s *Scheme) Name() string { return "SAFER-" + strconv.Itoa(1<<s.k) }
+
+// Groups returns the number of partition groups (2^k).
+func (s *Scheme) Groups() int { return 1 << s.k }
+
+// Correctable implements ecc.Scheme. It reports whether some k-bit index
+// selection separates all faulty cells inside the window into distinct
+// groups.
+func (s *Scheme) Correctable(faults *ecc.FaultSet, startByte, lengthBytes int) bool {
+	n := faults.CountInByteWindow(startByte, lengthBytes)
+	if n <= 1 {
+		return true
+	}
+	if n > s.Groups() {
+		return false // pigeonhole: more faults than groups
+	}
+	idx := faults.AppendIndicesInWindow(make([]int, 0, n), startByte, lengthBytes)
+	return s.separable(idx)
+}
+
+// separable reports whether some selection mask projects all indices to
+// pairwise-distinct values.
+func (s *Scheme) separable(idx []int) bool {
+	for _, mask := range s.selections {
+		if distinctUnderMask(idx, mask) {
+			return true
+		}
+	}
+	return false
+}
+
+// distinctUnderMask checks pairwise distinctness of the masked (compacted)
+// index values via a group-occupancy bitset: group ids fit 9 bits, so a
+// 512-bit set (eight uint64 words) covers every k.
+func distinctUnderMask(idx []int, mask uint16) bool {
+	var used [8]uint64
+	for _, v := range idx {
+		g := extract(uint16(v), mask)
+		w, bit := g>>6, uint64(1)<<(g&63)
+		if used[w]&bit != 0 {
+			return false
+		}
+		used[w] |= bit
+	}
+	return true
+}
+
+// extract gathers the bits of v at the positions set in mask into a dense
+// low-order value (a software PEXT).
+func extract(v, mask uint16) uint16 {
+	var out, bit uint16 = 0, 1
+	for m := mask; m != 0; m &= m - 1 {
+		low := m & -m
+		if v&low != 0 {
+			out |= bit
+		}
+		bit <<= 1
+	}
+	return out
+}
+
+// MetadataBits implements ecc.Scheme. SAFER-2^k needs k position fields of
+// ceil(log2(9)) = 4 bits plus one flip bit per group (the original paper
+// also folds in a small fail counter; we report the dominant terms).
+func (s *Scheme) MetadataBits() int { return s.k*4 + s.Groups() }

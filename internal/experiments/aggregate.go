@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"pcmcomp/internal/stats"
+)
+
+// Aggregate re-runs a table-producing experiment across seeds and returns
+// the per-cell mean table and the 95% confidence half-width table (normal
+// approximation, 1.96 * s/sqrt(n)). All seeds must produce tables of
+// identical shape. Lifetime results at small scales are noisy across
+// endurance populations; reporting runs use this to bound that noise.
+func Aggregate(seeds []uint64, build func(seed uint64) (*stats.Table, error)) (mean, ci *stats.Table, err error) {
+	if len(seeds) == 0 {
+		return nil, nil, fmt.Errorf("experiments: no seeds")
+	}
+	var acc [][]stats.Running
+	var proto *stats.Table
+	for _, seed := range seeds {
+		t, err := build(seed)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: seed %d: %w", seed, err)
+		}
+		if proto == nil {
+			proto = t
+			acc = make([][]stats.Running, t.Rows())
+			for i := range acc {
+				acc[i] = make([]stats.Running, len(t.Columns))
+			}
+		} else if t.Rows() != proto.Rows() || len(t.Columns) != len(proto.Columns) {
+			return nil, nil, fmt.Errorf("experiments: seed %d produced a %dx%d table, want %dx%d",
+				seed, t.Rows(), len(t.Columns), proto.Rows(), len(proto.Columns))
+		}
+		for i := 0; i < t.Rows(); i++ {
+			for j := range t.Columns {
+				acc[i][j].Add(t.Value(i, j))
+			}
+		}
+	}
+	mean = &stats.Table{Title: proto.Title + fmt.Sprintf(" — mean over %d seeds", len(seeds)), Columns: proto.Columns}
+	ci = &stats.Table{Title: proto.Title + " — 95% CI half-width", Columns: proto.Columns}
+	n := math.Sqrt(float64(len(seeds)))
+	for i := 0; i < proto.Rows(); i++ {
+		means := make([]float64, len(proto.Columns))
+		cis := make([]float64, len(proto.Columns))
+		for j := range proto.Columns {
+			means[j] = acc[i][j].Mean()
+			// Sample standard deviation from the population variance.
+			if cnt := acc[i][j].N(); cnt > 1 {
+				sample := acc[i][j].Variance() * float64(cnt) / float64(cnt-1)
+				cis[j] = 1.96 * math.Sqrt(sample) / n
+			}
+		}
+		mean.AddRow(proto.Label(i), means...)
+		ci.AddRow(proto.Label(i), cis...)
+	}
+	return mean, ci, nil
+}
+
+// Seeds returns n distinct seeds derived from a base seed, for multi-seed
+// reporting runs.
+func Seeds(base uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = base + uint64(i)*0x9e3779b97f4a7c15
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"pcmcomp/internal/stats"
+)
+
+func TestAggregateMath(t *testing.T) {
+	// Three "seeds" producing known values: mean and CI verifiable by hand.
+	vals := map[uint64]float64{1: 10, 2: 12, 3: 14}
+	mean, ci, err := Aggregate([]uint64{1, 2, 3}, func(seed uint64) (*stats.Table, error) {
+		tb := &stats.Table{Title: "demo", Columns: []string{"v"}}
+		tb.AddRow("row", vals[seed])
+		return tb, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mean.Value(0, 0); got != 12 {
+		t.Fatalf("mean = %v", got)
+	}
+	// Sample std = 2, CI = 1.96*2/sqrt(3).
+	want := 1.96 * 2 / math.Sqrt(3)
+	if got := ci.Value(0, 0); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ci = %v, want %v", got, want)
+	}
+}
+
+func TestAggregateSingleSeedNoCI(t *testing.T) {
+	_, ci, err := Aggregate([]uint64{7}, func(uint64) (*stats.Table, error) {
+		tb := &stats.Table{Columns: []string{"v"}}
+		tb.AddRow("row", 5)
+		return tb, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Value(0, 0) != 0 {
+		t.Fatal("single seed should have zero CI")
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	if _, _, err := Aggregate(nil, nil); err == nil {
+		t.Error("no seeds accepted")
+	}
+	boom := errors.New("boom")
+	if _, _, err := Aggregate([]uint64{1}, func(uint64) (*stats.Table, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	// Shape mismatch across seeds.
+	_, _, err := Aggregate([]uint64{1, 2}, func(seed uint64) (*stats.Table, error) {
+		tb := &stats.Table{Columns: []string{"v"}}
+		for i := uint64(0); i <= seed; i++ {
+			tb.AddRow("r", 1)
+		}
+		return tb, nil
+	})
+	if err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestSeedsDistinct(t *testing.T) {
+	s := Seeds(42, 8)
+	seen := map[uint64]bool{}
+	for _, v := range s {
+		if seen[v] {
+			t.Fatal("duplicate seed")
+		}
+		seen[v] = true
+	}
+	if len(s) != 8 {
+		t.Fatalf("len = %d", len(s))
+	}
+}
+
+func TestAggregateOverRealExperiment(t *testing.T) {
+	// Fig 6 is cheap: aggregate it over three seeds end to end.
+	mean, ci, err := Aggregate(Seeds(5, 3), func(seed uint64) (*stats.Table, error) {
+		return Fig6SizeChange(64, 3000, seed)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean.Rows() != 16 { // 15 apps + average
+		t.Fatalf("rows = %d", mean.Rows())
+	}
+	for i := 0; i < mean.Rows(); i++ {
+		if v := mean.Value(i, 0); v < 0 || v > 1 {
+			t.Fatalf("%s: mean %v out of range", mean.Label(i), v)
+		}
+		if c := ci.Value(i, 0); c < 0 || c > 0.5 {
+			t.Fatalf("%s: CI %v implausible", ci.Label(i), c)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+// Cross-validation: the Fig 9 Monte-Carlo survivability model and the
+// controller's actual placement logic must agree — a payload of W bytes is
+// placeable in a faulty line iff Survives says so. This ties the analytic
+// experiment to the system it abstracts.
+
+import (
+	"testing"
+
+	"pcmcomp/internal/block"
+	"pcmcomp/internal/core"
+	"pcmcomp/internal/ecc"
+	"pcmcomp/internal/montecarlo"
+	"pcmcomp/internal/pcm"
+	"pcmcomp/internal/rng"
+)
+
+// blockOfSize builds data whose BEST compressed size is exactly size
+// (using the BDI encodings' nominal sizes).
+func blockOfSize(r *rng.Rand, size int) block.Block {
+	var b block.Block
+	switch size {
+	case 1:
+		// zero block
+	case 8:
+		v := r.Uint64()
+		for i := 0; i < 8; i++ {
+			b.SetWord(i, v)
+		}
+	case 16:
+		base := r.Uint64()
+		b.SetWord(0, base)
+		for i := 1; i < 8; i++ {
+			b.SetWord(i, base+uint64(r.Intn(100)))
+		}
+	case 24:
+		base := r.Uint64()
+		b.SetWord(0, base)
+		b.SetWord(1, base+5000)
+		for i := 2; i < 8; i++ {
+			b.SetWord(i, base+uint64(r.Intn(30000)))
+		}
+	case 40:
+		base := r.Uint64()
+		b.SetWord(0, base)
+		b.SetWord(1, base+1<<20)
+		for i := 2; i < 8; i++ {
+			b.SetWord(i, base+uint64(r.Intn(1<<27)))
+		}
+	default: // 64: incompressible
+		for i := 0; i < 8; i++ {
+			b.SetWord(i, r.Uint64())
+		}
+	}
+	return b
+}
+
+func TestMonteCarloMatchesControllerPlacement(t *testing.T) {
+	r := rng.New(31)
+	sizes := []int{1, 8, 16, 24, 40, 64}
+	for trial := 0; trial < 300; trial++ {
+		size := sizes[trial%len(sizes)]
+		data := blockOfSize(r, size)
+
+		// Fresh single-line controller with enormous endurance so the
+		// write itself cannot create faults.
+		cfg := core.DefaultConfig(core.CompWF, pcm.Config{
+			Geometry: pcm.Geometry{
+				Channels: 1, DIMMsPerChannel: 1, RanksPerDIMM: 1,
+				BanksPerRank: 1, LinesPerBank: 2,
+			},
+			Endurance: pcm.Endurance{Mean: 1e9, CoV: 0},
+			Seed:      uint64(trial),
+		})
+		cfg.StartGapPsi = 1 << 30
+		ctrl, err := core.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Inject a random fault population directly into the backing line.
+		var faults ecc.FaultSet
+		n := r.Intn(61)
+		for faults.Count() < n {
+			faults.Add(r.Intn(block.Bits))
+		}
+		// Physical row of logical line 0 under a fresh Start-Gap.
+		line := ctrl.Memory().Line(0)
+		for _, idx := range faults.Indices() {
+			line.Faults().Add(idx)
+		}
+
+		want := montecarlo.Survives(ctrl.Scheme(), &faults, size)
+		out := ctrl.Write(0, &data)
+		if out.Stored != want {
+			t.Fatalf("trial %d: size %d with %d faults: controller stored=%v, model says %v",
+				trial, size, n, out.Stored, want)
+		}
+		if out.Stored {
+			got, _, err := ctrl.Read(0)
+			if err != nil || !block.Equal(&got, &data) {
+				t.Fatalf("trial %d: stored data corrupt: %v", trial, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"pcmcomp/internal/config"
+)
+
+func quickOptions() LifetimeOptions {
+	return LifetimeOptions{Scale: config.ScaleQuick, Seed: 7}
+}
+
+func findRow(t *testing.T, tb interface {
+	Rows() int
+	Label(int) string
+	Value(int, int) float64
+}, label string) int {
+	t.Helper()
+	for i := 0; i < tb.Rows(); i++ {
+		if strings.HasPrefix(tb.Label(i), label) {
+			return i
+		}
+	}
+	t.Fatalf("row %q not found", label)
+	return -1
+}
+
+func TestFig1ShowsScatteredFlips(t *testing.T) {
+	s, err := Fig1BitFlips("gobmk", 64, 20000, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.X) < 50 {
+		t.Fatalf("only %d samples for the hot block", len(s.X))
+	}
+	// The figure's point: flip counts vary wildly write to write.
+	min, max := s.Y[0], s.Y[0]
+	for _, v := range s.Y {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max-min < 20 {
+		t.Fatalf("flip counts too uniform: min %v max %v", min, max)
+	}
+	if max > 512 {
+		t.Fatalf("flip count %v exceeds line size", max)
+	}
+}
+
+func TestFig3ShapesMatchPaper(t *testing.T) {
+	tb, err := Fig3CompressedSizes(256, 4000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BEST <= min(BDI, FPC) on every row; average BEST ~ 27.5B (CR 0.43).
+	for i := 0; i < tb.Rows(); i++ {
+		bdi, fpc, best := tb.Value(i, 0), tb.Value(i, 1), tb.Value(i, 2)
+		if best > bdi+1e-9 || best > fpc+1e-9 {
+			t.Errorf("%s: BEST %.1f exceeds BDI %.1f or FPC %.1f", tb.Label(i), best, bdi, fpc)
+		}
+	}
+	avg := findRow(t, tb, "Average")
+	if got := tb.Value(avg, 2); got < 20 || got > 35 {
+		t.Errorf("average BEST size %.1fB; paper ~27.5B (CR 0.43)", got)
+	}
+	// cactusADM and zeusmp near the paper's 2-3B.
+	cact := findRow(t, tb, "cactusADM")
+	if got := tb.Value(cact, 2); got > 6 {
+		t.Errorf("cactusADM BEST %.1fB; paper ~2B", got)
+	}
+	// lbm keeps a large compressed size (paper ~51B).
+	lbm := findRow(t, tb, "lbm")
+	if got := tb.Value(lbm, 2); got < 42 {
+		t.Errorf("lbm BEST %.1fB; paper ~51B", got)
+	}
+}
+
+func TestFig5IncreasedFlipsConcentrateInUnstableApps(t *testing.T) {
+	tb, err := Fig5FlipDelta(128, 6000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := func(app string) float64 { return tb.Value(findRow(t, tb, app), 0) }
+	dec := func(app string) float64 { return tb.Value(findRow(t, tb, app), 2) }
+	// bzip2/gcc see many increased-flip writes; cactusADM almost none.
+	if inc("bzip2") < inc("cactusADM") {
+		t.Errorf("bzip2 increased %.1f%% < cactusADM %.1f%%", inc("bzip2"), inc("cactusADM"))
+	}
+	if inc("gcc") < 10 {
+		t.Errorf("gcc increased flips %.1f%%; paper shows a large share", inc("gcc"))
+	}
+	// Highly compressible apps mostly decrease.
+	if dec("sjeng") < 40 {
+		t.Errorf("sjeng decreased flips %.1f%%; paper shows mostly decreased", dec("sjeng"))
+	}
+}
+
+func TestFig6OrderingMatchesNarrative(t *testing.T) {
+	tb, err := Fig6SizeChange(64, 8000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(app string) float64 { return tb.Value(findRow(t, tb, app), 0) }
+	if get("bzip2") <= get("hmmer") {
+		t.Errorf("bzip2 %.2f should exceed hmmer %.2f", get("bzip2"), get("hmmer"))
+	}
+	if get("gcc") <= get("leslie3d") {
+		t.Errorf("gcc %.2f should exceed leslie3d %.2f", get("gcc"), get("leslie3d"))
+	}
+	for i := 0; i < tb.Rows(); i++ {
+		if v := tb.Value(i, 0); v < 0 || v > 1 {
+			t.Fatalf("%s probability %v out of range", tb.Label(i), v)
+		}
+	}
+}
+
+func TestFig7ContrastsBzip2AndHmmer(t *testing.T) {
+	// Fig 7's contrast: bzip2's per-block compressed sizes jump write to
+	// write; hmmer's barely move. Measure the mean absolute consecutive
+	// size delta over the hottest blocks.
+	churnOf := func(app string) float64 {
+		series, err := Fig7SizeSeries(app, 64, 30000, 3, 50, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum, n float64
+		for _, s := range series {
+			for i := 1; i < len(s.Y); i++ {
+				d := s.Y[i] - s.Y[i-1]
+				if d < 0 {
+					d = -d
+				}
+				sum += d
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / n
+	}
+	if bz, hm := churnOf("bzip2"), churnOf("hmmer"); bz <= hm {
+		t.Errorf("bzip2 size churn %.1f should exceed hmmer's %.1f", bz, hm)
+	}
+}
+
+func TestFig9ToleranceOrdering(t *testing.T) {
+	tb, err := Fig9Tolerance(55, 120, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecpTol := tb.Value(findRow(t, tb, "ECP-6"), 0)
+	saferTol := tb.Value(findRow(t, tb, "SAFER-32"), 0)
+	aegisTol := tb.Value(findRow(t, tb, "Aegis-17x31"), 0)
+	if !(ecpTol < saferTol) {
+		t.Errorf("ECP %v should tolerate fewer than SAFER %v", ecpTol, saferTol)
+	}
+	if aegisTol < saferTol-6 {
+		t.Errorf("Aegis %v should be comparable or better than SAFER %v", aegisTol, saferTol)
+	}
+}
+
+func TestFig9FailureCurvesWellFormed(t *testing.T) {
+	series, err := Fig9Failure("ecp", 30, 60, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != len(Fig9Windows) {
+		t.Fatalf("got %d series", len(series))
+	}
+	for _, s := range series {
+		for _, p := range s.Y {
+			if p < 0 || p > 1 {
+				t.Fatalf("series %s has probability %v", s.Name, p)
+			}
+		}
+	}
+	if _, err := Fig9Failure("bogus", 5, 5, 1); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestFig10ShapeAtQuickScale(t *testing.T) {
+	tb, err := Fig10Lifetimes(quickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := findRow(t, tb, "Average")
+	comp := tb.Value(avg, 0)
+	compW := tb.Value(avg, 1)
+	compWF := tb.Value(avg, 2)
+	// The paper's ordering: Comp+WF >= Comp+W >> 1, and Comp the weakest.
+	if compWF < compW-0.3 {
+		t.Errorf("Comp+WF %.2f should be >= Comp+W %.2f", compWF, compW)
+	}
+	if compW <= 1.2 {
+		t.Errorf("Comp+W average %.2fx should clearly beat baseline", compW)
+	}
+	if comp >= compW {
+		t.Errorf("Comp %.2f should trail Comp+W %.2f", comp, compW)
+	}
+	// Highly compressible apps gain the most under Comp+WF.
+	milc := tb.Value(findRow(t, tb, "milc"), 2)
+	lbm := tb.Value(findRow(t, tb, "lbm"), 2)
+	if milc <= lbm {
+		t.Errorf("milc gain %.2f should exceed lbm %.2f", milc, lbm)
+	}
+}
+
+func TestFig12FaultToleranceGain(t *testing.T) {
+	tb, err := Fig12RecoveredCells(quickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := findRow(t, tb, "Average")
+	base, wf := tb.Value(avg, 0), tb.Value(avg, 1)
+	if wf < 1.5*base {
+		t.Errorf("Comp+WF tolerates %.1f cells vs baseline %.1f; paper ~3x", wf, base)
+	}
+	// Baseline dies around ECP-6's limit.
+	if base < 5 || base > 12 {
+		t.Errorf("baseline faults at death %.1f; expected near 7", base)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tb, err := Table3(256, 3000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 15 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+	for i := 0; i < tb.Rows(); i++ {
+		paperCR, measured := tb.Value(i, 1), tb.Value(i, 2)
+		if diff := measured - paperCR; diff > 0.1 || diff < -0.1 {
+			t.Errorf("%s: measured CR %.2f vs paper %.2f", tb.Label(i), measured, paperCR)
+		}
+	}
+}
+
+func TestTable4MonthsOrdering(t *testing.T) {
+	o := quickOptions()
+	tb, err := Table4Months(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := findRow(t, tb, "Average")
+	base, wf := tb.Value(avg, 0), tb.Value(avg, 1)
+	if wf <= base {
+		t.Errorf("Comp+WF months %.1f should exceed baseline %.1f", wf, base)
+	}
+	if base <= 0 {
+		t.Error("baseline months must be positive")
+	}
+}
+
+func TestUncorrectableReduction(t *testing.T) {
+	base, wf, err := UncorrectableReduction(quickOptions(), "milc", 120000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == 0 {
+		t.Skip("write budget too small to kill baseline lines")
+	}
+	if wf >= base {
+		t.Errorf("Comp+WF uncorrectable errors %d should be below baseline's %d", wf, base)
+	}
+}
+
+func TestFig11CDFShapes(t *testing.T) {
+	milc, err := Fig11MaxSizeCDF("milc", 512, 30000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcc, err := Fig11MaxSizeCDF("gcc", 512, 30000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CDFs are monotone and end at 1.
+	for _, s := range []struct {
+		name string
+		y    []float64
+	}{{"milc", milc.Y}, {"gcc", gcc.Y}} {
+		for i := 1; i < len(s.y); i++ {
+			if s.y[i] < s.y[i-1] {
+				t.Fatalf("%s CDF not monotone", s.name)
+			}
+		}
+		if last := s.y[len(s.y)-1]; last < 0.999 {
+			t.Fatalf("%s CDF ends at %v", s.name, last)
+		}
+	}
+	// Paper contrast: milc has far more addresses whose max size stays
+	// small than gcc does.
+	cdfAt := func(s []float64, xs []float64, x float64) float64 {
+		for i := range xs {
+			if xs[i] >= x {
+				return s[i]
+			}
+		}
+		return 1
+	}
+	milc24 := cdfAt(milc.Y, milc.X, 24)
+	gcc24 := cdfAt(gcc.Y, gcc.X, 24)
+	if milc24 <= gcc24 {
+		t.Errorf("milc CDF@24B %.2f should exceed gcc's %.2f", milc24, gcc24)
+	}
+}
+
+func TestPerfOverheadShape(t *testing.T) {
+	tb, err := PerfOverhead(128, 2000, 6000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := findRow(t, tb, "Average")
+	lat, slow := tb.Value(avg, 0), tb.Value(avg, 1)
+	if lat <= 0 || lat > 2.5 {
+		t.Errorf("read latency increase %.2f%%; paper reports up to ~2%%", lat)
+	}
+	if slow <= 0 || slow > 0.3 {
+		t.Errorf("slowdown %.3f%%; paper reports < 0.3%%", slow)
+	}
+}

@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"pcmcomp/internal/config"
+	"pcmcomp/internal/core"
+	"pcmcomp/internal/lifetime"
+	"pcmcomp/internal/stats"
+	"pcmcomp/internal/trace"
+	"pcmcomp/internal/workload"
+)
+
+// forEachApp runs fn once per FigureOrder application, concurrently up to
+// the CPU count. Runs are independent and internally seeded, so results
+// are deterministic regardless of scheduling; the first error wins.
+func forEachApp(fn func(i int, app string) error) error {
+	sem := make(chan struct{}, runtime.NumCPU())
+	errs := make([]error, len(FigureOrder))
+	var wg sync.WaitGroup
+	for i, app := range FigureOrder {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, app string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i, app)
+		}(i, app)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LifetimeOptions parameterize the lifetime experiments (Figs 10/12/13,
+// Table IV).
+type LifetimeOptions struct {
+	// Scale selects the substrate preset.
+	Scale config.Scale
+	// Seed drives trace generation and endurance sampling.
+	Seed uint64
+	// MaxDemandWrites caps each run (0 = none); quick modes set it.
+	MaxDemandWrites uint64
+	// BaselineCapFactor caps non-baseline runs at this multiple of the
+	// app's baseline lifetime (0 = default 40). Zero-dominated workloads
+	// under Comp+WF approach the 50%-dead criterion asymptotically; the
+	// paper's largest reported gain is ~13x, so a 40x cap bounds runtime
+	// without censoring any realistic ratio.
+	BaselineCapFactor uint64
+}
+
+func (o LifetimeOptions) capFactor() uint64 {
+	if o.BaselineCapFactor == 0 {
+		return 40
+	}
+	return o.BaselineCapFactor
+}
+
+// appTrace builds the per-app replay trace at the option's scale.
+func (o LifetimeOptions) appTrace(app string) ([]trace.Event, workload.Profile, error) {
+	p, err := profileFor(app)
+	if err != nil {
+		return nil, p, err
+	}
+	g, err := workload.NewGenerator(p, o.Scale.TraceLines, o.Seed)
+	if err != nil {
+		return nil, p, err
+	}
+	return g.GenerateTrace(o.Scale.TraceEvents), p, nil
+}
+
+// runOne executes one lifetime run for a system on an app's trace, capped
+// at cap demand writes (0 = only the option-level cap applies).
+func (o LifetimeOptions) runOne(sys core.SystemKind, events []trace.Event, cap uint64) (lifetime.Result, error) {
+	ctrl := core.DefaultConfig(sys, o.Scale.Substrate(o.Seed))
+	cfg := lifetime.DefaultConfig(ctrl)
+	cfg.MaxDemandWrites = o.MaxDemandWrites
+	if cap > 0 && (cfg.MaxDemandWrites == 0 || cap < cfg.MaxDemandWrites) {
+		cfg.MaxDemandWrites = cap
+	}
+	return lifetime.Run(cfg, events)
+}
+
+// runPair runs the baseline uncapped, then the listed systems capped at
+// capFactor times the baseline's lifetime.
+func (o LifetimeOptions) runPair(events []trace.Event, systems []core.SystemKind) (lifetime.Result, []lifetime.Result, error) {
+	base, err := o.runOne(core.Baseline, events, 0)
+	if err != nil {
+		return lifetime.Result{}, nil, err
+	}
+	out := make([]lifetime.Result, len(systems))
+	for i, sys := range systems {
+		res, err := o.runOne(sys, events, base.DemandWrites*o.capFactor())
+		if err != nil {
+			return lifetime.Result{}, nil, err
+		}
+		out[i] = res
+	}
+	return base, out, nil
+}
+
+// Fig10Lifetimes reproduces Figure 10: per-application lifetime of Comp,
+// Comp+W and Comp+WF normalized to the Baseline system. The paper's
+// averages are ~1.35x (Comp, with regressions on low-CR apps), 3.2x
+// (Comp+W) and 4.3x (Comp+WF).
+func Fig10Lifetimes(o LifetimeOptions) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Figure 10: lifetime normalized to Baseline (CoV " + fmt.Sprintf("%.2f", o.Scale.CoV) + ")",
+		Columns: []string{"Comp", "Comp+W", "Comp+WF"},
+	}
+	systems := []core.SystemKind{core.Comp, core.CompW, core.CompWF}
+	rows := make([][]float64, len(FigureOrder))
+	err := forEachApp(func(i int, app string) error {
+		events, _, err := o.appTrace(app)
+		if err != nil {
+			return err
+		}
+		base, results, err := o.runPair(events, systems)
+		if err != nil {
+			return err
+		}
+		row := make([]float64, len(systems))
+		for j := range systems {
+			row[j] = results[j].Normalized(base)
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sums := make([]float64, len(systems))
+	for i, app := range FigureOrder {
+		t.AddRow(app, rows[i]...)
+		for j := range systems {
+			sums[j] += rows[i][j]
+		}
+	}
+	n := float64(len(FigureOrder))
+	t.AddRow("Average", sums[0]/n, sums[1]/n, sums[2]/n)
+	return t, nil
+}
+
+// Fig12RecoveredCells reproduces Figure 12: the average number of faulty
+// cells a failed 512-bit line had accumulated when it died, under Comp+WF.
+// The paper reports ~3x ECP-6's 6 cells on average, with highly
+// compressible apps (sjeng, milc, cactusADM) reaching 25-35.
+func Fig12RecoveredCells(o LifetimeOptions) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Figure 12: average faulty cells in a failed line (Comp+WF vs Baseline's ECP-6 limit)",
+		Columns: []string{"Baseline", "Comp+WF"},
+	}
+	rows := make([][2]float64, len(FigureOrder))
+	err := forEachApp(func(i int, app string) error {
+		events, _, err := o.appTrace(app)
+		if err != nil {
+			return err
+		}
+		base, results, err := o.runPair(events, []core.SystemKind{core.CompWF})
+		if err != nil {
+			return err
+		}
+		bs, ws := base.Stats, results[0].Stats
+		rows[i] = [2]float64{bs.DeathFaultCells.Mean(), ws.DeathFaultCells.Mean()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sumB, sumW float64
+	for i, app := range FigureOrder {
+		t.AddRow(app, rows[i][0], rows[i][1])
+		sumB += rows[i][0]
+		sumW += rows[i][1]
+	}
+	n := float64(len(FigureOrder))
+	t.AddRow("Average", sumB/n, sumW/n)
+	return t, nil
+}
+
+// Fig13HighVariation reproduces Figure 13: Comp+WF lifetime normalized to
+// Baseline under higher process variation (CoV = 0.25).
+func Fig13HighVariation(o LifetimeOptions) (*stats.Table, error) {
+	o.Scale.CoV = 0.25
+	t := &stats.Table{
+		Title:   "Figure 13: Comp+WF lifetime normalized to Baseline (CoV 0.25)",
+		Columns: []string{"Comp+WF"},
+	}
+	rows := make([]float64, len(FigureOrder))
+	err := forEachApp(func(i int, app string) error {
+		events, _, err := o.appTrace(app)
+		if err != nil {
+			return err
+		}
+		base, results, err := o.runPair(events, []core.SystemKind{core.CompWF})
+		if err != nil {
+			return err
+		}
+		rows[i] = results[0].Normalized(base)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sum float64
+	for i, app := range FigureOrder {
+		t.AddRow(app, rows[i])
+		sum += rows[i]
+	}
+	t.AddRow("Average", sum/float64(len(FigureOrder)))
+	return t, nil
+}
+
+// Table4Months reproduces Table IV: projected lifetime in months for the
+// Baseline and Comp+WF systems, rescaled to the paper's endurance and
+// capacity through lifetime.TimeModel (paper averages: 22 vs 79 months).
+func Table4Months(o LifetimeOptions) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Table IV: projected lifetime in months (rescaled to 4GB / 1e7-write cells)",
+		Columns: []string{"Baseline", "Comp+WF"},
+	}
+	rows := make([][2]float64, len(FigureOrder))
+	err := forEachApp(func(i int, app string) error {
+		events, prof, err := o.appTrace(app)
+		if err != nil {
+			return err
+		}
+		base, results, err := o.runPair(events, []core.SystemKind{core.CompWF})
+		if err != nil {
+			return err
+		}
+		tm := lifetime.DefaultTimeModel(prof.WPKI, o.Scale.EnduranceScale(), o.Scale.CapacityScale())
+		rows[i] = [2]float64{tm.Months(base.DemandWrites), tm.Months(results[0].DemandWrites)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sumB, sumW float64
+	for i, app := range FigureOrder {
+		t.AddRow(app, rows[i][0], rows[i][1])
+		sumB += rows[i][0]
+		sumW += rows[i][1]
+	}
+	n := float64(len(FigureOrder))
+	t.AddRow("Average", sumB/n, sumW/n)
+	return t, nil
+}
+
+// UncorrectableReduction computes the abstract's reliability claim: the
+// reduction in uncorrectable errors of Comp+WF relative to Baseline over an
+// equal write budget.
+func UncorrectableReduction(o LifetimeOptions, app string, writes uint64) (baseline, compWF uint64, err error) {
+	events, _, err := o.appTrace(app)
+	if err != nil {
+		return 0, 0, err
+	}
+	run := func(sys core.SystemKind) (uint64, error) {
+		ctrl := core.DefaultConfig(sys, o.Scale.Substrate(o.Seed))
+		cfg := lifetime.DefaultConfig(ctrl)
+		cfg.MaxDemandWrites = writes
+		cfg.FailureFraction = 1 // run the full budget
+		res, err := lifetime.Run(cfg, events)
+		if err != nil {
+			return 0, err
+		}
+		return res.Stats.UncorrectableErrors, nil
+	}
+	if baseline, err = run(core.Baseline); err != nil {
+		return 0, 0, err
+	}
+	if compWF, err = run(core.CompWF); err != nil {
+		return 0, 0, err
+	}
+	return baseline, compWF, nil
+}

@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestSECDEDComparisonShape(t *testing.T) {
+	tb, err := SECDEDComparison(quickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tb.Rows(); i++ {
+		if ratio := tb.Value(i, 1); ratio >= 1 {
+			t.Errorf("%s: SECDED lifetime %.2fx should trail ECP-6", tb.Label(i), ratio)
+		}
+	}
+}

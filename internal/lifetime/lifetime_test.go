@@ -1,0 +1,168 @@
+package lifetime
+
+import (
+	"math"
+	"testing"
+
+	"pcmcomp/internal/core"
+	"pcmcomp/internal/pcm"
+	"pcmcomp/internal/trace"
+	"pcmcomp/internal/workload"
+)
+
+func smallSubstrate(meanEndurance float64) pcm.Config {
+	return pcm.Config{
+		Geometry: pcm.Geometry{
+			Channels: 1, DIMMsPerChannel: 1, RanksPerDIMM: 1,
+			BanksPerRank: 4, LinesPerBank: 33, // 128 logical lines
+		},
+		Endurance: pcm.Endurance{Mean: meanEndurance, CoV: 0.15},
+		Seed:      3,
+	}
+}
+
+func makeTrace(t *testing.T, app string, lines, n int) []trace.Event {
+	t.Helper()
+	p, err := workload.ByName(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.NewGenerator(p, lines, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.GenerateTrace(n)
+}
+
+func TestRunReachesFailure(t *testing.T) {
+	tr := makeTrace(t, "gcc", 128, 4000)
+	cfg := DefaultConfig(core.DefaultConfig(core.Baseline, smallSubstrate(300)))
+	cfg.CheckEvery = 128
+	res, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed {
+		t.Fatalf("run did not reach failure: %+v", res)
+	}
+	if res.FinalDeadFraction < 0.5 {
+		t.Fatalf("dead fraction %v below criterion", res.FinalDeadFraction)
+	}
+	if res.DemandWrites == 0 || res.Replays == 0 {
+		t.Fatal("no work recorded")
+	}
+}
+
+func TestMaxWritesCap(t *testing.T) {
+	tr := makeTrace(t, "gcc", 128, 1000)
+	cfg := DefaultConfig(core.DefaultConfig(core.Baseline, smallSubstrate(1e9)))
+	cfg.MaxDemandWrites = 5000
+	res, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatal("immortal memory failed")
+	}
+	if res.DemandWrites != 5000 {
+		t.Fatalf("writes = %d, want cap 5000", res.DemandWrites)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cfg := DefaultConfig(core.DefaultConfig(core.Baseline, smallSubstrate(100)))
+	if _, err := Run(cfg, nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+	cfg.FailureFraction = 0
+	if _, err := Run(cfg, makeTrace(t, "gcc", 16, 10)); err == nil {
+		t.Error("zero failure fraction accepted")
+	}
+	cfg = DefaultConfig(core.DefaultConfig(core.SystemKind(0), smallSubstrate(100)))
+	if _, err := Run(cfg, makeTrace(t, "gcc", 16, 10)); err == nil {
+		t.Error("invalid controller config accepted")
+	}
+}
+
+func TestCompWFOutlivesBaselineOnCompressibleApp(t *testing.T) {
+	// The paper's Fig 10 shape at miniature scale: on a highly
+	// compressible workload, Comp+WF must beat Baseline clearly.
+	tr := makeTrace(t, "milc", 128, 4000)
+	run := func(sys core.SystemKind) Result {
+		cfg := DefaultConfig(core.DefaultConfig(sys, smallSubstrate(400)))
+		cfg.CheckEvery = 256
+		cfg.MaxDemandWrites = 50_000_000
+		res, err := Run(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Failed {
+			t.Fatalf("%v never failed", sys)
+		}
+		return res
+	}
+	base := run(core.Baseline)
+	wf := run(core.CompWF)
+	gain := wf.Normalized(base)
+	if gain <= 1.2 {
+		t.Fatalf("Comp+WF gain %.2fx over baseline; expected clear win on milc", gain)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	a := Result{DemandWrites: 400}
+	b := Result{DemandWrites: 100}
+	if got := a.Normalized(b); got != 4 {
+		t.Fatalf("normalized = %v", got)
+	}
+	if got := a.Normalized(Result{}); got != 0 {
+		t.Fatalf("normalized vs zero = %v", got)
+	}
+}
+
+func TestDefaultConfigScalesIntraCounter(t *testing.T) {
+	big := DefaultConfig(core.DefaultConfig(core.CompW, smallSubstrate(1e7)))
+	small := DefaultConfig(core.DefaultConfig(core.CompW, smallSubstrate(1000)))
+	if big.Controller.IntraCounterBits <= small.Controller.IntraCounterBits {
+		t.Fatalf("counter bits: endurance 1e7 -> %d, 1e3 -> %d; should scale",
+			big.Controller.IntraCounterBits, small.Controller.IntraCounterBits)
+	}
+	if big.Controller.IntraCounterBits != 16 {
+		t.Fatalf("paper-scale endurance should recover the 16-bit counter, got %d",
+			big.Controller.IntraCounterBits)
+	}
+}
+
+func TestMonthsConversion(t *testing.T) {
+	tm := DefaultTimeModel(6.5, 1, 1)
+	// writes/sec = 6.5e-3 * 2.5e9 * 16 = 2.6e8.
+	months := tm.Months(2.6e8 * 30.44 * 24 * 3600) // exactly one month of writes
+	if math.Abs(months-1) > 1e-9 {
+		t.Fatalf("months = %v, want 1", months)
+	}
+	// Scaling factors multiply.
+	tm2 := DefaultTimeModel(6.5, 1000, 10)
+	if got := tm2.Months(1000); math.Abs(got-tm.Months(1000)*10000) > 1e-12 {
+		t.Fatalf("scaling wrong: %v vs %v", got, tm.Months(1000)*10000)
+	}
+	if DefaultTimeModel(0, 1, 1).Months(100) != 0 {
+		t.Fatal("zero WPKI should yield zero months")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	tr := makeTrace(t, "sjeng", 64, 2000)
+	cfg := DefaultConfig(core.DefaultConfig(core.Comp, smallSubstrate(300)))
+	cfg.CheckEvery = 64
+	a, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DemandWrites != b.DemandWrites || a.Replays != b.Replays {
+		t.Fatalf("runs differ: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,122 @@
+// Package montecarlo implements the paper's Fig 9 fault-injection study:
+// for a single 512-cell line, it measures the probability that a data
+// payload of W bytes can no longer be placed anywhere in the line, as a
+// function of the number of stuck cells (distributed uniformly, modeling
+// perfect intra-line wear-leveling) and the hard-error scheme in use
+// (ECP-6, SAFER-32, Aegis 17x31).
+package montecarlo
+
+import (
+	"fmt"
+
+	"pcmcomp/internal/block"
+	"pcmcomp/internal/ecc"
+	"pcmcomp/internal/rng"
+)
+
+// Config parameterizes one failure-probability estimate.
+type Config struct {
+	// Scheme is the hard-error tolerance scheme under test.
+	Scheme ecc.Scheme
+	// WindowBytes is the compressed-data size to place (1..64).
+	WindowBytes int
+	// Errors is the number of stuck cells injected, uniformly at random.
+	Errors int
+	// Trials is the number of Monte-Carlo injections (paper: 100,000).
+	Trials int
+	// Seed drives the injection randomness.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Scheme == nil {
+		return fmt.Errorf("montecarlo: nil scheme")
+	}
+	if c.WindowBytes < 1 || c.WindowBytes > block.Size {
+		return fmt.Errorf("montecarlo: window %dB out of [1,%d]", c.WindowBytes, block.Size)
+	}
+	if c.Errors < 0 || c.Errors > block.Bits {
+		return fmt.Errorf("montecarlo: error count %d out of [0,%d]", c.Errors, block.Bits)
+	}
+	if c.Trials < 1 {
+		return fmt.Errorf("montecarlo: trials must be >= 1, got %d", c.Trials)
+	}
+	return nil
+}
+
+// Survives reports whether a payload of windowBytes can be placed in a line
+// with the given faults: some window origin (wrapping, modeling the sliding
+// compression window) must be correctable under the scheme. A full-size
+// payload has only one placement.
+func Survives(scheme ecc.Scheme, faults *ecc.FaultSet, windowBytes int) bool {
+	if windowBytes >= block.Size {
+		return scheme.Correctable(faults, 0, block.Size)
+	}
+	for origin := 0; origin < block.Size; origin++ {
+		if scheme.Correctable(faults, origin, windowBytes) {
+			return true
+		}
+	}
+	return false
+}
+
+// FailureProbability estimates P(line unusable) for the configuration.
+func FailureProbability(cfg Config) (float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	r := rng.New(cfg.Seed)
+	failures := 0
+	var faults ecc.FaultSet
+	for trial := 0; trial < cfg.Trials; trial++ {
+		faults.Clear()
+		injectUniform(r, &faults, cfg.Errors)
+		if !Survives(cfg.Scheme, &faults, cfg.WindowBytes) {
+			failures++
+		}
+	}
+	return float64(failures) / float64(cfg.Trials), nil
+}
+
+// injectUniform adds exactly n distinct uniformly placed faults.
+func injectUniform(r *rng.Rand, faults *ecc.FaultSet, n int) {
+	for count := 0; count < n; {
+		cell := r.Intn(block.Bits)
+		if !faults.Contains(cell) {
+			faults.Add(cell)
+			count++
+		}
+	}
+}
+
+// Curve sweeps the error count from 1 to maxErrors and returns the failure
+// probability at each point (index 0 holds 1 error).
+func Curve(scheme ecc.Scheme, windowBytes, maxErrors, trials int, seed uint64) ([]float64, error) {
+	out := make([]float64, maxErrors)
+	for e := 1; e <= maxErrors; e++ {
+		p, err := FailureProbability(Config{
+			Scheme: scheme, WindowBytes: windowBytes,
+			Errors: e, Trials: trials, Seed: seed + uint64(e),
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[e-1] = p
+	}
+	return out, nil
+}
+
+// TolerableAt returns the largest error count whose failure probability
+// stays at or below the threshold (e.g. 0.5 for the paper's comparison:
+// "at 0.5 failure probability a 32B window tolerates 18/38/41 faults under
+// ECP-6/SAFER/Aegis").
+func TolerableAt(curve []float64, threshold float64) int {
+	last := 0
+	for i, p := range curve {
+		if p <= threshold {
+			last = i + 1
+		}
+	}
+	return last
+}

@@ -1,0 +1,27 @@
+package pcm
+
+import "pcmcomp/internal/block"
+
+// WriteWindowFNW performs a Flip-N-Write differential write (Cho & Lee,
+// MICRO 2009): before programming, the RMW circuit counts how many cells
+// the plain data and its complement would each flip, writes whichever
+// needs fewer programs, and records the choice in a flip flag. At most
+// half the window's cells are ever programmed on one write.
+//
+// The returned inverted flag tells the caller (the controller models the
+// per-window flip bit as metadata) whether the complement was stored; the
+// caller must complement the window on read-back when it is set.
+//
+// The paper's baseline uses plain DW; FNW is provided for the ablation
+// benches (DESIGN.md §5).
+func (l *Line) WriteWindowFNW(newData *block.Block, startByte, lengthBytes int) (WriteResult, bool) {
+	plain := block.HammingDistanceWindow(&l.data, newData, startByte, lengthBytes)
+	if plain*2 <= lengthBytes*8 {
+		return l.WriteWindow(newData, startByte, lengthBytes), false
+	}
+	inv := *newData
+	for i := startByte; i < startByte+lengthBytes; i++ {
+		inv[i] = ^inv[i]
+	}
+	return l.WriteWindow(&inv, startByte, lengthBytes), true
+}

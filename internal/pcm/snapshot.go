@@ -1,0 +1,128 @@
+package pcm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"pcmcomp/internal/block"
+)
+
+// Checkpointing: long lifetime simulations (paper-faithful scales run for
+// hours) can snapshot the physical memory state — per-cell remaining
+// endurance, stored values, stuck cells, write counts — and resume later.
+// A snapshot captures only *state*: the caller must restore into a Memory
+// built from the identical Config (geometry, endurance model, seed), so
+// that lazily materialized lines keep sampling identical endurance
+// populations.
+
+const snapshotMagic = "PCMM"
+
+// WriteSnapshot serializes every materialized line to w.
+func (m *Memory) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return fmt.Errorf("pcm: write snapshot magic: %w", err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(m.live)); err != nil {
+		return err
+	}
+	for addr, l := range m.lines {
+		if l == nil {
+			continue
+		}
+		if err := writeUvarint(uint64(addr)); err != nil {
+			return err
+		}
+		if _, err := bw.Write(l.data[:]); err != nil {
+			return err
+		}
+		for _, r := range l.remaining {
+			if err := writeUvarint(uint64(r)); err != nil {
+				return err
+			}
+		}
+		for _, word := range l.faults.Words() {
+			if err := writeUvarint(word); err != nil {
+				return err
+			}
+		}
+		if err := writeUvarint(l.writes); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("pcm: flush snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot restores lines serialized by WriteSnapshot into m, which
+// must be freshly built from the same Config. Previously materialized
+// state in m is replaced.
+func (m *Memory) ReadSnapshot(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic [len(snapshotMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("pcm: read snapshot magic: %w", err)
+	}
+	if string(magic[:]) != snapshotMagic {
+		return fmt.Errorf("pcm: bad snapshot magic %q", magic)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("pcm: read line count: %w", err)
+	}
+	if count > uint64(len(m.lines)) {
+		return fmt.Errorf("pcm: snapshot has %d lines, memory holds %d", count, len(m.lines))
+	}
+	for i := range m.lines {
+		m.lines[i] = nil
+	}
+	m.live = 0
+	for i := uint64(0); i < count; i++ {
+		addr, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("pcm: read line %d address: %w", i, err)
+		}
+		if addr >= uint64(len(m.lines)) {
+			return fmt.Errorf("pcm: line address %d out of range", addr)
+		}
+		l := &Line{}
+		if _, err := io.ReadFull(br, l.data[:]); err != nil {
+			return fmt.Errorf("pcm: read line %d data: %w", i, err)
+		}
+		for c := range l.remaining {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return fmt.Errorf("pcm: read line %d cell %d: %w", i, c, err)
+			}
+			if v > 1<<32-1 {
+				return fmt.Errorf("pcm: line %d cell %d endurance %d overflows", i, c, v)
+			}
+			l.remaining[c] = uint32(v)
+		}
+		var words [block.Bits / 64]uint64
+		for wi := range words {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return fmt.Errorf("pcm: read line %d fault word %d: %w", i, wi, err)
+			}
+			words[wi] = v
+		}
+		l.faults.SetWords(words)
+		if l.writes, err = binary.ReadUvarint(br); err != nil {
+			return fmt.Errorf("pcm: read line %d write count: %w", i, err)
+		}
+		m.lines[addr] = l
+		m.live++
+	}
+	return nil
+}

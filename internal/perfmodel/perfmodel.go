@@ -1,0 +1,143 @@
+// Package perfmodel implements the memory-timing model behind the paper's
+// performance-overhead analysis (§V-B): data compression is off the
+// critical path (writes sit in the 32-entry write queue), but reads of
+// compressed lines pay the decompression latency — 1 CPU cycle for BDI, 5
+// for FPC — on top of the DDR access. The paper reports up to ~2% longer
+// average read latency and under 0.3% application slowdown; this package
+// reproduces those estimates from the same Table II timing parameters.
+package perfmodel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config holds the memory-system timing parameters (Table II).
+type Config struct {
+	// Banks is the number of independently schedulable banks.
+	Banks int
+	// MemClockHz is the DDR interface clock (Table II: 400MHz).
+	MemClockHz float64
+	// CPUClockHz is the core clock (Table II: 2.5GHz).
+	CPUClockHz float64
+	// ReadMemCycles is the bank occupancy of a read in memory cycles
+	// (tRCD + tCL + burst: Table II's tRDC=60, tCL=5, burst 8/2).
+	ReadMemCycles int
+	// WriteMemCycles is the bank occupancy of a write (PCM writes are
+	// slow: RESET 40ns / SET 150ns dominate; expressed in memory cycles).
+	WriteMemCycles int
+}
+
+// DefaultConfig mirrors Table II for a 2-channel, 4-bank-per-rank system.
+func DefaultConfig() Config {
+	return Config{
+		Banks:      8,
+		MemClockHz: 400e6,
+		CPUClockHz: 2.5e9,
+		// 60 (tRDC) + 5 (tCL) + 4 (burst of 8, DDR) memory cycles.
+		ReadMemCycles: 69,
+		// 150ns SET time at 400MHz = 60 cycles, plus command overhead.
+		WriteMemCycles: 64,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Banks < 1 {
+		return fmt.Errorf("perfmodel: need >= 1 bank, got %d", c.Banks)
+	}
+	if c.MemClockHz <= 0 || c.CPUClockHz <= 0 {
+		return fmt.Errorf("perfmodel: clocks must be positive")
+	}
+	if c.ReadMemCycles < 1 || c.WriteMemCycles < 1 {
+		return fmt.Errorf("perfmodel: service times must be >= 1 cycle")
+	}
+	return nil
+}
+
+// Request is one memory operation presented to the controller.
+type Request struct {
+	// ArrivalCPUCycle is the request's issue time in CPU cycles.
+	ArrivalCPUCycle float64
+	// Bank is the target bank.
+	Bank int
+	// Write marks writes (which are buffered and off the critical path).
+	Write bool
+	// DecompressionCPUCycles is added to a read's completion (0 for raw
+	// lines, 1 for BDI, 5 for FPC).
+	DecompressionCPUCycles int
+}
+
+// Result summarizes a simulation.
+type Result struct {
+	// Reads and Writes count serviced operations.
+	Reads, Writes int
+	// AvgReadLatencyCPU is the mean read latency in CPU cycles including
+	// decompression; AvgReadLatencyBaseCPU excludes decompression.
+	AvgReadLatencyCPU     float64
+	AvgReadLatencyBaseCPU float64
+	// ReadLatencyIncrease is the relative increase due to decompression.
+	ReadLatencyIncrease float64
+}
+
+// Simulate services the request stream with per-bank FIFO scheduling and
+// returns latency statistics. Requests must be sorted by arrival time.
+func Simulate(cfg Config, reqs []Request) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if !sort.SliceIsSorted(reqs, func(i, j int) bool {
+		return reqs[i].ArrivalCPUCycle < reqs[j].ArrivalCPUCycle
+	}) {
+		return Result{}, fmt.Errorf("perfmodel: requests not sorted by arrival")
+	}
+	cpuPerMem := cfg.CPUClockHz / cfg.MemClockHz
+	readService := float64(cfg.ReadMemCycles) * cpuPerMem
+	writeService := float64(cfg.WriteMemCycles) * cpuPerMem
+
+	bankFree := make([]float64, cfg.Banks)
+	var res Result
+	var sumRead, sumReadBase float64
+	for i := range reqs {
+		r := &reqs[i]
+		if r.Bank < 0 || r.Bank >= cfg.Banks {
+			return Result{}, fmt.Errorf("perfmodel: request %d targets bank %d of %d", i, r.Bank, cfg.Banks)
+		}
+		start := r.ArrivalCPUCycle
+		if bankFree[r.Bank] > start {
+			start = bankFree[r.Bank]
+		}
+		if r.Write {
+			// Writes drain from the write queue; they occupy the bank but
+			// don't contribute to read latency directly.
+			bankFree[r.Bank] = start + writeService
+			res.Writes++
+			continue
+		}
+		done := start + readService
+		bankFree[r.Bank] = done
+		base := done - r.ArrivalCPUCycle
+		sumReadBase += base
+		sumRead += base + float64(r.DecompressionCPUCycles)
+		res.Reads++
+	}
+	if res.Reads > 0 {
+		res.AvgReadLatencyCPU = sumRead / float64(res.Reads)
+		res.AvgReadLatencyBaseCPU = sumReadBase / float64(res.Reads)
+		res.ReadLatencyIncrease = res.AvgReadLatencyCPU/res.AvgReadLatencyBaseCPU - 1
+	}
+	return res, nil
+}
+
+// SlowdownEstimate converts a read-latency increase into an application
+// slowdown bound: slowdown = extraReadCycles * blockingReadsPerInstruction
+// / baseCPI. Pass the rate of *blocking* memory reads — out-of-order cores
+// overlap most decompression latency, which is how §V-B's <0.3% follows
+// from a ~2% read-latency increase.
+func SlowdownEstimate(extraReadCPUCycles, readsPerKiloInstr, baseCPI float64) float64 {
+	if baseCPI <= 0 {
+		return 0
+	}
+	extraCyclesPerInstr := extraReadCPUCycles * readsPerKiloInstr / 1000
+	return extraCyclesPerInstr / baseCPI
+}

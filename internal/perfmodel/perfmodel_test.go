@@ -1,0 +1,171 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"pcmcomp/internal/rng"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Banks: 0, MemClockHz: 1, CPUClockHz: 1, ReadMemCycles: 1, WriteMemCycles: 1},
+		{Banks: 1, MemClockHz: 0, CPUClockHz: 1, ReadMemCycles: 1, WriteMemCycles: 1},
+		{Banks: 1, MemClockHz: 1, CPUClockHz: 1, ReadMemCycles: 0, WriteMemCycles: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestIdleBankLatency(t *testing.T) {
+	cfg := DefaultConfig()
+	res, err := Simulate(cfg, []Request{{ArrivalCPUCycle: 0, Bank: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(cfg.ReadMemCycles) * cfg.CPUClockHz / cfg.MemClockHz
+	if math.Abs(res.AvgReadLatencyCPU-want) > 1e-9 {
+		t.Fatalf("idle read latency %v, want %v", res.AvgReadLatencyCPU, want)
+	}
+}
+
+func TestQueueingDelay(t *testing.T) {
+	cfg := DefaultConfig()
+	// Two back-to-back reads on the same bank: the second waits.
+	res, err := Simulate(cfg, []Request{
+		{ArrivalCPUCycle: 0, Bank: 0},
+		{ArrivalCPUCycle: 0, Bank: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	service := float64(cfg.ReadMemCycles) * cfg.CPUClockHz / cfg.MemClockHz
+	wantAvg := (service + 2*service) / 2
+	if math.Abs(res.AvgReadLatencyCPU-wantAvg) > 1e-9 {
+		t.Fatalf("queued latency %v, want %v", res.AvgReadLatencyCPU, wantAvg)
+	}
+	// Different banks: no interference.
+	res, err = Simulate(cfg, []Request{
+		{ArrivalCPUCycle: 0, Bank: 0},
+		{ArrivalCPUCycle: 0, Bank: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.AvgReadLatencyCPU-service) > 1e-9 {
+		t.Fatalf("parallel-bank latency %v, want %v", res.AvgReadLatencyCPU, service)
+	}
+}
+
+func TestDecompressionLatencyAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	res, err := Simulate(cfg, []Request{
+		{ArrivalCPUCycle: 0, Bank: 0, DecompressionCPUCycles: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.AvgReadLatencyCPU - res.AvgReadLatencyBaseCPU; math.Abs(got-5) > 1e-9 {
+		t.Fatalf("decompression delta %v, want 5", got)
+	}
+	if res.ReadLatencyIncrease <= 0 {
+		t.Fatal("latency increase not positive")
+	}
+}
+
+func TestWritesOffCriticalPathButOccupyBank(t *testing.T) {
+	cfg := DefaultConfig()
+	res, err := Simulate(cfg, []Request{
+		{ArrivalCPUCycle: 0, Bank: 0, Write: true},
+		{ArrivalCPUCycle: 0, Bank: 0}, // read queued behind the write
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Writes != 1 || res.Reads != 1 {
+		t.Fatalf("counts: %d writes, %d reads", res.Writes, res.Reads)
+	}
+	cpuPerMem := cfg.CPUClockHz / cfg.MemClockHz
+	want := float64(cfg.WriteMemCycles)*cpuPerMem + float64(cfg.ReadMemCycles)*cpuPerMem
+	if math.Abs(res.AvgReadLatencyCPU-want) > 1e-9 {
+		t.Fatalf("read behind write latency %v, want %v", res.AvgReadLatencyCPU, want)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := Simulate(cfg, []Request{{ArrivalCPUCycle: 5}, {ArrivalCPUCycle: 0}}); err == nil {
+		t.Error("unsorted requests accepted")
+	}
+	if _, err := Simulate(cfg, []Request{{Bank: 99}}); err == nil {
+		t.Error("out-of-range bank accepted")
+	}
+}
+
+func TestPaperShapeSmallOverheads(t *testing.T) {
+	// Reproduce §V-B's magnitudes: with a realistic mix (reads to
+	// compressed lines paying 1 or 5 cycles), the average read latency
+	// rises by at most a few percent and the slowdown estimate stays well
+	// under 1%.
+	cfg := DefaultConfig()
+	r := rng.New(1)
+	var reqs []Request
+	clock := 0.0
+	for i := 0; i < 20000; i++ {
+		clock += float64(r.Intn(200)) // light-to-moderate load
+		decomp := 0
+		switch r.Intn(4) {
+		case 0, 1: // BDI-compressed line
+			decomp = 1
+		case 2: // FPC-compressed line
+			decomp = 5
+		}
+		reqs = append(reqs, Request{
+			ArrivalCPUCycle:        clock,
+			Bank:                   r.Intn(cfg.Banks),
+			Write:                  r.Intn(3) == 0,
+			DecompressionCPUCycles: decomp,
+		})
+	}
+	res, err := Simulate(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReadLatencyIncrease <= 0 || res.ReadLatencyIncrease > 0.02 {
+		t.Fatalf("read latency increase %.4f outside (0, 2%%]", res.ReadLatencyIncrease)
+	}
+	// Only blocking loads stall the core: with out-of-order cores and MLP,
+	// roughly 2 memory reads per kilo-instruction are critical, at a base
+	// CPI of ~1.5 for these memory-bound workloads.
+	extra := res.AvgReadLatencyCPU - res.AvgReadLatencyBaseCPU
+	slowdown := SlowdownEstimate(extra, 2 /* blocking reads per kilo-instr */, 1.5)
+	if slowdown <= 0 || slowdown > 0.003 {
+		t.Fatalf("slowdown estimate %.5f outside (0, 0.3%%]", slowdown)
+	}
+}
+
+func TestSlowdownEstimate(t *testing.T) {
+	// 5 extra cycles * 10 reads / 1000 instr / CPI 1 = 0.05 cycles/instr.
+	if got := SlowdownEstimate(5, 10, 1); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("slowdown = %v", got)
+	}
+	if SlowdownEstimate(5, 10, 0) != 0 {
+		t.Fatal("zero CPI should yield zero")
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	res, err := Simulate(DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reads != 0 || res.AvgReadLatencyCPU != 0 {
+		t.Fatalf("empty stream result: %+v", res)
+	}
+}

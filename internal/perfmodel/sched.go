@@ -1,0 +1,177 @@
+package perfmodel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// QueueConfig models the per-bank controller queues of Table II: an
+// 8-entry read FIFO and a 32-entry write FIFO with watermark-based
+// draining. Reads have priority — writes leave the critical path by
+// waiting in the write queue — until the queue fills past HiWatermark,
+// at which point the controller drains writes down to LoWatermark even if
+// reads are waiting (the classic write-drain policy).
+type QueueConfig struct {
+	ReadDepth   int
+	WriteDepth  int
+	HiWatermark int
+	LoWatermark int
+}
+
+// DefaultQueueConfig mirrors Table II (8-entry read, 32-entry write).
+func DefaultQueueConfig() QueueConfig {
+	return QueueConfig{ReadDepth: 8, WriteDepth: 32, HiWatermark: 24, LoWatermark: 8}
+}
+
+// Validate checks the queue configuration.
+func (q QueueConfig) Validate() error {
+	if q.ReadDepth < 1 || q.WriteDepth < 1 {
+		return fmt.Errorf("perfmodel: queue depths must be >= 1")
+	}
+	if q.HiWatermark < 1 || q.HiWatermark > q.WriteDepth {
+		return fmt.Errorf("perfmodel: hi watermark %d out of [1,%d]", q.HiWatermark, q.WriteDepth)
+	}
+	if q.LoWatermark < 0 || q.LoWatermark >= q.HiWatermark {
+		return fmt.Errorf("perfmodel: lo watermark %d out of [0,%d)", q.LoWatermark, q.HiWatermark)
+	}
+	return nil
+}
+
+// SchedResult extends Result with queueing behaviour.
+type SchedResult struct {
+	Result
+	// WriteStalls counts writes that arrived to a full write queue (they
+	// block the producer until space frees — the only way writes touch
+	// the critical path besides drains).
+	WriteStalls int
+	// DrainEvents counts watermark-triggered write drains.
+	DrainEvents int
+}
+
+// SimulateScheduled services the request stream with read-priority
+// scheduling and the given queue configuration. Requests must be sorted by
+// arrival time; each is dispatched to its bank's queues.
+func SimulateScheduled(cfg Config, qc QueueConfig, reqs []Request) (SchedResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return SchedResult{}, err
+	}
+	if err := qc.Validate(); err != nil {
+		return SchedResult{}, err
+	}
+	if !sort.SliceIsSorted(reqs, func(i, j int) bool {
+		return reqs[i].ArrivalCPUCycle < reqs[j].ArrivalCPUCycle
+	}) {
+		return SchedResult{}, fmt.Errorf("perfmodel: requests not sorted by arrival")
+	}
+
+	// Partition by bank; banks are independent single servers.
+	perBank := make([][]Request, cfg.Banks)
+	for i := range reqs {
+		b := reqs[i].Bank
+		if b < 0 || b >= cfg.Banks {
+			return SchedResult{}, fmt.Errorf("perfmodel: request %d targets bank %d of %d", i, b, cfg.Banks)
+		}
+		perBank[b] = append(perBank[b], reqs[i])
+	}
+
+	cpuPerMem := cfg.CPUClockHz / cfg.MemClockHz
+	readService := float64(cfg.ReadMemCycles) * cpuPerMem
+	writeService := float64(cfg.WriteMemCycles) * cpuPerMem
+
+	var res SchedResult
+	var sumRead, sumReadBase float64
+	for _, stream := range perBank {
+		bankRes := simulateBank(stream, qc, readService, writeService)
+		res.Reads += bankRes.reads
+		res.Writes += bankRes.writes
+		res.WriteStalls += bankRes.writeStalls
+		res.DrainEvents += bankRes.drains
+		sumRead += bankRes.sumRead
+		sumReadBase += bankRes.sumReadBase
+	}
+	if res.Reads > 0 {
+		res.AvgReadLatencyCPU = sumRead / float64(res.Reads)
+		res.AvgReadLatencyBaseCPU = sumReadBase / float64(res.Reads)
+		res.ReadLatencyIncrease = res.AvgReadLatencyCPU/res.AvgReadLatencyBaseCPU - 1
+	}
+	return res, nil
+}
+
+type bankOutcome struct {
+	reads, writes, writeStalls, drains int
+	sumRead, sumReadBase               float64
+}
+
+// simulateBank runs one bank's single-server priority queue.
+func simulateBank(stream []Request, qc QueueConfig, readService, writeService float64) bankOutcome {
+	var out bankOutcome
+	var readQ, writeQ []Request
+	clock := 0.0
+	next := 0 // next arrival index
+	draining := false
+
+	admit := func(now float64) {
+		for next < len(stream) && stream[next].ArrivalCPUCycle <= now {
+			r := stream[next]
+			if r.Write {
+				if len(writeQ) >= qc.WriteDepth {
+					// Producer blocks: the write enters as soon as the
+					// queue has space; model as a stall count and admit.
+					out.writeStalls++
+				}
+				writeQ = append(writeQ, r)
+			} else {
+				readQ = append(readQ, r)
+			}
+			next++
+		}
+	}
+
+	serveWrite := func() {
+		writeQ = writeQ[1:]
+		clock += writeService
+		out.writes++
+	}
+
+	for next < len(stream) || len(readQ) > 0 || len(writeQ) > 0 {
+		admit(clock)
+
+		// Drain policy state machine.
+		if len(writeQ) >= qc.HiWatermark {
+			if !draining {
+				out.drains++
+			}
+			draining = true
+		}
+		if len(writeQ) <= qc.LoWatermark {
+			draining = false
+		}
+
+		switch {
+		case draining && len(writeQ) > 0:
+			// Forced drain preempts reads until the low watermark.
+			serveWrite()
+		case len(readQ) > 0:
+			r := readQ[0]
+			readQ = readQ[1:]
+			done := clock + readService
+			clock = done
+			base := done - r.ArrivalCPUCycle
+			out.sumReadBase += base
+			out.sumRead += base + float64(r.DecompressionCPUCycles)
+			out.reads++
+		case len(writeQ) > 0 && (next >= len(stream) ||
+			stream[next].ArrivalCPUCycle >= clock+writeService):
+			// Opportunistic write: it completes before the next request
+			// can possibly arrive, so it cannot delay any read.
+			serveWrite()
+		case next < len(stream):
+			// Idle (or deferring writes): wait for the next arrival.
+			clock = stream[next].ArrivalCPUCycle
+		default:
+			// Only buffered writes remain; flush them.
+			serveWrite()
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"pcmcomp/internal/rng"
+)
+
+func TestQueueConfigValidation(t *testing.T) {
+	if err := DefaultQueueConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []QueueConfig{
+		{ReadDepth: 0, WriteDepth: 32, HiWatermark: 24, LoWatermark: 8},
+		{ReadDepth: 8, WriteDepth: 32, HiWatermark: 40, LoWatermark: 8},
+		{ReadDepth: 8, WriteDepth: 32, HiWatermark: 24, LoWatermark: 24},
+	}
+	for i, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("bad queue config %d accepted", i)
+		}
+	}
+}
+
+func TestReadsPreemptBufferedWrites(t *testing.T) {
+	cfg := DefaultConfig()
+	qc := DefaultQueueConfig()
+	// A write arrives first, then a read 1 cycle later: with read
+	// priority the read is served first (the write waits in the queue).
+	reqs := []Request{
+		{ArrivalCPUCycle: 0, Bank: 0, Write: true},
+		{ArrivalCPUCycle: 1, Bank: 0},
+	}
+	res, err := SimulateScheduled(cfg, qc, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	service := float64(cfg.ReadMemCycles) * cfg.CPUClockHz / cfg.MemClockHz
+	if math.Abs(res.AvgReadLatencyCPU-service) > 1e-9 {
+		t.Fatalf("read latency %v; write was not deferred (service %v)", res.AvgReadLatencyCPU, service)
+	}
+	// FIFO (unscheduled) would have put the read behind the write.
+	fifo, err := Simulate(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fifo.AvgReadLatencyCPU <= res.AvgReadLatencyCPU {
+		t.Fatal("scheduling should beat FIFO here")
+	}
+}
+
+func TestWatermarkDrain(t *testing.T) {
+	cfg := DefaultConfig()
+	qc := QueueConfig{ReadDepth: 8, WriteDepth: 8, HiWatermark: 4, LoWatermark: 1}
+	// Burst of writes beyond the hi watermark, then a read: the drain
+	// must run and be counted.
+	var reqs []Request
+	for i := 0; i < 6; i++ {
+		reqs = append(reqs, Request{ArrivalCPUCycle: float64(i), Bank: 0, Write: true})
+	}
+	reqs = append(reqs, Request{ArrivalCPUCycle: 6, Bank: 0})
+	res, err := SimulateScheduled(cfg, qc, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DrainEvents == 0 {
+		t.Fatal("hi watermark crossed but no drain recorded")
+	}
+	if res.Reads != 1 || res.Writes != 6 {
+		t.Fatalf("counts: %d reads %d writes", res.Reads, res.Writes)
+	}
+}
+
+func TestWriteStallsOnFullQueue(t *testing.T) {
+	cfg := DefaultConfig()
+	qc := QueueConfig{ReadDepth: 8, WriteDepth: 2, HiWatermark: 2, LoWatermark: 0}
+	var reqs []Request
+	for i := 0; i < 10; i++ {
+		reqs = append(reqs, Request{ArrivalCPUCycle: float64(i), Bank: 0, Write: true})
+	}
+	res, err := SimulateScheduled(cfg, qc, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WriteStalls == 0 {
+		t.Fatal("10 instant writes into a 2-entry queue must stall")
+	}
+}
+
+func TestScheduledMatchesFIFOWhenIdle(t *testing.T) {
+	// Widely spaced requests: no queueing; both models agree.
+	cfg := DefaultConfig()
+	var reqs []Request
+	clock := 0.0
+	r := rng.New(1)
+	for i := 0; i < 200; i++ {
+		clock += 5000
+		reqs = append(reqs, Request{
+			ArrivalCPUCycle:        clock,
+			Bank:                   r.Intn(cfg.Banks),
+			Write:                  i%3 == 0,
+			DecompressionCPUCycles: i % 6,
+		})
+	}
+	sched, err := SimulateScheduled(cfg, DefaultQueueConfig(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo, err := Simulate(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sched.AvgReadLatencyCPU-fifo.AvgReadLatencyCPU) > 1e-6 {
+		t.Fatalf("idle-system latencies diverge: %v vs %v",
+			sched.AvgReadLatencyCPU, fifo.AvgReadLatencyCPU)
+	}
+}
+
+func TestSchedulingBeatsFIFOUnderWritePressure(t *testing.T) {
+	// §V-B's premise: buffered writes keep decompression and PCM's slow
+	// writes off the read path. Under mixed load, read latency with
+	// scheduling must be at most FIFO's.
+	cfg := DefaultConfig()
+	r := rng.New(7)
+	var reqs []Request
+	clock := 0.0
+	for i := 0; i < 20000; i++ {
+		clock += float64(r.Intn(250))
+		reqs = append(reqs, Request{
+			ArrivalCPUCycle:        clock,
+			Bank:                   r.Intn(cfg.Banks),
+			Write:                  r.Intn(3) == 0,
+			DecompressionCPUCycles: r.Intn(2) * 5,
+		})
+	}
+	sched, err := SimulateScheduled(cfg, DefaultQueueConfig(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo, err := Simulate(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.AvgReadLatencyCPU > fifo.AvgReadLatencyCPU*1.01 {
+		t.Fatalf("scheduled %v worse than FIFO %v", sched.AvgReadLatencyCPU, fifo.AvgReadLatencyCPU)
+	}
+}
+
+func TestSchedErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := SimulateScheduled(cfg, DefaultQueueConfig(), []Request{{Bank: 99}}); err == nil {
+		t.Error("bad bank accepted")
+	}
+	if _, err := SimulateScheduled(cfg, DefaultQueueConfig(),
+		[]Request{{ArrivalCPUCycle: 5}, {ArrivalCPUCycle: 1}}); err == nil {
+		t.Error("unsorted requests accepted")
+	}
+	if _, err := SimulateScheduled(Config{}, DefaultQueueConfig(), nil); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := SimulateScheduled(cfg, QueueConfig{}, nil); err == nil {
+		t.Error("invalid queue config accepted")
+	}
+}

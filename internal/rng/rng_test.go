@@ -1,0 +1,163 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("generators with different seeds collided %d/100 times", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 7, 64, 512, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(99)
+	const n, draws = 8, 80000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d too far from expected %.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	r := New(13)
+	s := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	for _, v := range s {
+		sum += v
+	}
+	if sum != 36 {
+		t.Fatalf("shuffle lost elements: %v", s)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	a := New(21)
+	child := a.Split()
+	// The child stream must be deterministic given the parent seed.
+	b := New(21)
+	childB := b.Split()
+	for i := 0; i < 100; i++ {
+		if child.Uint64() != childB.Uint64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+}
+
+func TestIntnPropertyInRange(t *testing.T) {
+	r := New(77)
+	f := func(n uint16) bool {
+		bound := int(n%4096) + 1
+		v := r.Intn(bound)
+		return v >= 0 && v < bound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.NormFloat64()
+	}
+}

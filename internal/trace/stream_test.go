@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"pcmcomp/internal/block"
+	"pcmcomp/internal/rng"
+)
+
+func streamRoundTrip(t *testing.T, gzipped bool) {
+	t.Helper()
+	r := rng.New(1)
+	events := make([]Event, 400)
+	for i := range events {
+		events[i].Addr = r.Intn(1 << 20)
+		for w := 0; w < 8; w++ {
+			events[i].Data.SetWord(w, r.Uint64())
+		}
+	}
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf, gzipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := sw.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sw.Count() != len(events) {
+		t.Fatalf("count = %d", sw.Count())
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+
+	sr, err := NewStreamReader(&buf, gzipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	for i := range events {
+		got, err := sr.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if got.Addr != events[i].Addr || !block.Equal(&got.Data, &events[i].Data) {
+			t.Fatalf("event %d mismatch", i)
+		}
+	}
+	if _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestStreamRoundTripPlain(t *testing.T) { streamRoundTrip(t, false) }
+func TestStreamRoundTripGzip(t *testing.T)  { streamRoundTrip(t, true) }
+
+func TestStreamAddressZero(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Append(Event{Addr: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Append(Event{Addr: -1}); err == nil {
+		t.Fatal("negative address accepted")
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Append(Event{}); err == nil {
+		t.Fatal("append after close accepted")
+	}
+	sr, err := NewStreamReader(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sr.Next()
+	if err != nil || e.Addr != 0 {
+		t.Fatalf("addr 0 round trip: %v %v", e.Addr, err)
+	}
+}
+
+func TestStreamBadMagic(t *testing.T) {
+	if _, err := NewStreamReader(strings.NewReader("NOPE...."), false); err != ErrBadMagic {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStreamTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	sw, _ := NewStreamWriter(&buf, false)
+	_ = sw.Append(Event{Addr: 7})
+	_ = sw.Close()
+	data := buf.Bytes()
+	sr, err := NewStreamReader(bytes.NewReader(data[:len(data)-10]), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Next(); err == nil || err == io.EOF {
+		t.Fatalf("truncation not detected: %v", err)
+	}
+}
+
+func TestGzipActuallyCompresses(t *testing.T) {
+	// Write-back traces are value-structured (zero lines, repeated words);
+	// gzip should shrink them a lot.
+	r := rng.New(3)
+	var plain, zipped bytes.Buffer
+	swP, _ := NewStreamWriter(&plain, false)
+	swZ, _ := NewStreamWriter(&zipped, true)
+	for i := 0; i < 2000; i++ {
+		var e Event
+		e.Addr = r.Intn(256)
+		if i%3 != 0 { // most lines zero or repeated, like real traces
+			v := uint64(r.Intn(4))
+			for w := 0; w < 8; w++ {
+				e.Data.SetWord(w, v)
+			}
+		} else {
+			e.Data.SetWord(0, r.Uint64())
+		}
+		if err := swP.Append(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := swZ.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = swP.Close()
+	_ = swZ.Close()
+	if zipped.Len() >= plain.Len()/2 {
+		t.Fatalf("gzip saved too little: %d vs %d bytes", zipped.Len(), plain.Len())
+	}
+}
+
+func TestIsGzipPath(t *testing.T) {
+	if !IsGzipPath("a.pcmt.gz") || !IsGzipPath("b.pcmtz") {
+		t.Error("gz suffixes not detected")
+	}
+	if IsGzipPath("a.pcmt") {
+		t.Error("plain suffix misdetected")
+	}
+}

@@ -1,0 +1,246 @@
+package wear
+
+import (
+	"testing"
+)
+
+// shadow tracks physical placement of logical lines explicitly, validating
+// the register-based Map against the stream of copy movements.
+type shadow struct {
+	slots []int // physical slot -> logical line (-1 = gap/stale)
+}
+
+func newShadow(n int) *shadow {
+	s := &shadow{slots: make([]int, n+1)}
+	for i := 0; i < n; i++ {
+		s.slots[i] = i
+	}
+	s.slots[n] = -1
+	return s
+}
+
+func (s *shadow) apply(m Movement) {
+	s.slots[m.To] = s.slots[m.From]
+	s.slots[m.From] = -1
+}
+
+func (s *shadow) find(logical int) int {
+	for phys, l := range s.slots {
+		if l == logical {
+			return phys
+		}
+	}
+	return -1
+}
+
+func TestStartGapMapIsBijection(t *testing.T) {
+	sg, err := NewStartGap(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 200; step++ {
+		seen := make(map[int]bool)
+		for la := 0; la < sg.Lines(); la++ {
+			pa := sg.Map(la)
+			if pa < 0 || pa >= sg.PhysicalLines() {
+				t.Fatalf("step %d: Map(%d) = %d out of range", step, la, pa)
+			}
+			if pa == sg.Gap() {
+				t.Fatalf("step %d: Map(%d) hit the gap %d", step, la, pa)
+			}
+			if seen[pa] {
+				t.Fatalf("step %d: physical %d mapped twice", step, pa)
+			}
+			seen[pa] = true
+		}
+		sg.OnWrite()
+	}
+}
+
+func TestStartGapMatchesMovementStream(t *testing.T) {
+	const n = 12
+	sg, err := NewStartGap(n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := newShadow(n)
+	for w := 0; w < n*(n+1)*3*2; w++ { // several full rotations
+		// The mapping must agree with the shadow placement at all times.
+		for la := 0; la < n; la++ {
+			if got, want := sg.Map(la), sh.find(la); got != want {
+				t.Fatalf("write %d: Map(%d) = %d, shadow says %d (gap=%d start=%d)",
+					w, la, got, want, sg.Gap(), sg.Start())
+			}
+		}
+		if mv, moved := sg.OnWrite(); moved {
+			sh.apply(mv)
+		}
+	}
+}
+
+func TestStartGapMovementCadence(t *testing.T) {
+	sg, err := NewStartGap(8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves := 0
+	for w := 0; w < 1000; w++ {
+		if _, moved := sg.OnWrite(); moved {
+			moves++
+		}
+	}
+	if moves != 10 {
+		t.Fatalf("1000 writes at psi=100 made %d moves, want 10", moves)
+	}
+}
+
+func TestStartGapFullRotationShiftsLines(t *testing.T) {
+	const n = 8
+	sg, err := NewStartGap(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]int, n)
+	for la := 0; la < n; la++ {
+		before[la] = sg.Map(la)
+	}
+	// One full rotation = n+1 gap movements.
+	for i := 0; i < n+1; i++ {
+		sg.OnWrite()
+	}
+	if sg.Start() != 1 {
+		t.Fatalf("start = %d after full rotation, want 1", sg.Start())
+	}
+	if sg.Gap() != n {
+		t.Fatalf("gap = %d after full rotation, want %d", sg.Gap(), n)
+	}
+	changed := 0
+	for la := 0; la < n; la++ {
+		if sg.Map(la) != before[la] {
+			changed++
+		}
+	}
+	if changed != n {
+		t.Fatalf("only %d/%d lines moved after a full rotation", changed, n)
+	}
+}
+
+func TestStartGapErrors(t *testing.T) {
+	if _, err := NewStartGap(0, 10); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewStartGap(10, 0); err == nil {
+		t.Error("psi=0 accepted")
+	}
+}
+
+func TestStartGapMapPanicsOutOfRange(t *testing.T) {
+	sg, _ := NewStartGap(4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sg.Map(4)
+}
+
+func TestIntraLineRotation(t *testing.T) {
+	w, err := NewIntraLine(4, 1, 64) // saturate every 16 writes
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15; i++ {
+		if w.OnWrite() {
+			t.Fatalf("rotated early at write %d", i)
+		}
+	}
+	if !w.OnWrite() {
+		t.Fatal("no rotation at saturation")
+	}
+	if w.Offset() != 1 {
+		t.Fatalf("offset = %d, want 1", w.Offset())
+	}
+	if w.Rotations() != 1 {
+		t.Fatalf("rotations = %d, want 1", w.Rotations())
+	}
+}
+
+func TestIntraLineWrapsModuloLine(t *testing.T) {
+	w, err := NewIntraLine(1, 7, 64) // saturate every 2 writes, step 7
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2*64; i++ {
+		w.OnWrite()
+	}
+	// 64 rotations of 7 bytes: offset = 64*7 mod 64 = 0.
+	if w.Offset() != 0 {
+		t.Fatalf("offset = %d, want 0 after full wrap", w.Offset())
+	}
+	if w.Rotations() != 64 {
+		t.Fatalf("rotations = %d, want 64", w.Rotations())
+	}
+}
+
+func TestIntraLineCoversAllOffsets(t *testing.T) {
+	// With step 1 the rotation must visit every byte offset: this is what
+	// gives near-perfect intra-line leveling (paper §III-A.2).
+	w, err := NewIntraLine(1, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	seen[w.Offset()] = true
+	for i := 0; i < 2*64; i++ {
+		w.OnWrite()
+		seen[w.Offset()] = true
+	}
+	if len(seen) != 64 {
+		t.Fatalf("visited %d/64 offsets", len(seen))
+	}
+}
+
+func TestIntraLinePaperConfiguration(t *testing.T) {
+	// 16-bit counter, 1-byte step (paper's sensitivity analysis).
+	w, err := NewIntraLine(16, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1<<16-1; i++ {
+		if w.OnWrite() {
+			t.Fatal("rotated before 2^16 writes")
+		}
+	}
+	if !w.OnWrite() {
+		t.Fatal("no rotation at 2^16 writes")
+	}
+}
+
+func TestIntraLineErrors(t *testing.T) {
+	if _, err := NewIntraLine(0, 1, 64); err == nil {
+		t.Error("zero-width counter accepted")
+	}
+	if _, err := NewIntraLine(32, 1, 64); err == nil {
+		t.Error("32-bit counter accepted (overflows uint32 shift)")
+	}
+	if _, err := NewIntraLine(16, 0, 64); err == nil {
+		t.Error("zero step accepted")
+	}
+	if _, err := NewIntraLine(16, 64, 64); err == nil {
+		t.Error("step == line size accepted")
+	}
+	if _, err := NewIntraLine(16, 1, 1); err == nil {
+		t.Error("1-byte line accepted")
+	}
+}
+
+func BenchmarkStartGapMap(b *testing.B) {
+	sg, _ := NewStartGap(1<<16, 100)
+	for i := 0; i < 1000; i++ {
+		sg.OnWrite()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sg.Map(i & (1<<16 - 1))
+	}
+}

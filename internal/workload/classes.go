@@ -1,0 +1,299 @@
+package workload
+
+import (
+	"pcmcomp/internal/block"
+	"pcmcomp/internal/rng"
+)
+
+// contentClass identifies a value-pattern family with a known compressed
+// size under the BEST-of-BDI/FPC scheme. Write-back streams are modeled as
+// per-line class assignments plus in-class mutations; class resampling
+// models compressed-size changes between consecutive writes (Fig 6/7).
+type contentClass int
+
+const (
+	classZero  contentClass = iota + 1 // all zero           -> 1 B (BDI zeros)
+	classRep                           // repeated 8B value  -> 8 B (BDI repeat)
+	classN64D1                         // narrow 64b, d1     -> 16 B (B8D1)
+	classN32D1                         // narrow 32b, d1     -> 20 B (B4D1)
+	classN64D2                         // narrow 64b, d2     -> 24 B (B8D2)
+	classFPC6                          // 6 dense words      -> 28 B (FPC)
+	classN16D1                         // narrow 16b, d1     -> 34 B (B2D1)
+	classN32D2                         // narrow 32b, d2     -> 36 B (B4D2)
+	classN64D4                         // narrow 64b, d4     -> 40 B (B8D4)
+	classFPC11                         // 11 dense words     -> 49 B (FPC)
+	classFPC13                         // 13 dense words     -> 58 B (FPC)
+	classRand                          // random             -> 64 B (raw)
+
+	numClasses = int(classRand)
+)
+
+// nominalSize is the expected BEST compressed size of each class in bytes.
+var nominalSize = map[contentClass]int{
+	classZero: 1, classRep: 8, classN64D1: 16, classN32D1: 20,
+	classN64D2: 24, classFPC6: 28, classN16D1: 34, classN32D2: 36,
+	classN64D4: 40, classFPC11: 49, classFPC13: 58, classRand: 64,
+}
+
+// incompressibleWord draws a 32-bit value that matches none of FPC's seven
+// patterns, so it costs the full 3+32 bits.
+func incompressibleWord(r *rng.Rand) uint32 {
+	for {
+		v := r.Uint32()
+		s := int32(v)
+		if s >= -32768 && s <= 32767 {
+			continue // 4/8/16-bit sign-extended
+		}
+		if v&0xffff == 0 {
+			continue // half-padded
+		}
+		lo, hi := int16(v), int16(v>>16)
+		if lo >= -128 && lo <= 127 && hi >= -128 && hi <= 127 {
+			continue // two sign-extended halfwords
+		}
+		b := v & 0xff
+		if v == b|b<<8|b<<16|b<<24 {
+			continue // repeated bytes
+		}
+		return v
+	}
+}
+
+// generate builds a fresh block of the given class.
+func generate(r *rng.Rand, class contentClass) block.Block {
+	var b block.Block
+	switch class {
+	case classZero:
+		// zero block
+	case classRep:
+		v := r.Uint64()
+		for i := 0; i < 8; i++ {
+			b.SetWord(i, v)
+		}
+	case classN64D1:
+		base := r.Uint64()
+		b.SetWord(0, base)
+		for i := 1; i < 8; i++ {
+			b.SetWord(i, base+uint64(r.Intn(201))-100)
+		}
+	case classN32D1:
+		base := r.Uint32() | 1<<30 // keep 64-bit view incompressible for BDI-8
+		putU32(&b, 0, base)        // segment 0 is the BDI base: deltas stay 1-byte
+		for i := 1; i < 16; i++ {
+			d := uint32(r.Intn(201)) - 100
+			putU32(&b, i, base+d)
+		}
+	case classN64D2:
+		base := r.Uint64()
+		b.SetWord(0, base)
+		b.SetWord(1, base+5000) // force at least one 2-byte delta
+		for i := 2; i < 8; i++ {
+			b.SetWord(i, base+uint64(r.Intn(40001))-20000)
+		}
+	case classN16D1:
+		base := uint16(r.Uint32()) | 1<<14
+		putU16(&b, 0, base) // segment 0 is the BDI base: deltas stay 1-byte
+		for i := 1; i < 32; i++ {
+			d := uint16(r.Intn(201)) - 100
+			putU16(&b, i, base+d)
+		}
+	case classN32D2:
+		base := r.Uint32() | 1<<30
+		putU32(&b, 0, base)
+		putU32(&b, 1, base+5000) // force 2-byte deltas
+		for i := 2; i < 16; i++ {
+			d := uint32(r.Intn(40001)) - 20000
+			putU32(&b, i, base+d)
+		}
+	case classN64D4:
+		base := r.Uint64()
+		b.SetWord(0, base)
+		b.SetWord(1, base+1<<20) // force 4-byte deltas
+		for i := 2; i < 8; i++ {
+			b.SetWord(i, base+uint64(r.Intn(1<<28))-1<<27)
+		}
+	case classFPC6:
+		fillFPC(r, &b, 6)
+	case classFPC11:
+		fillFPC(r, &b, 11)
+	case classFPC13:
+		fillFPC(r, &b, 13)
+	case classRand:
+		for i := 0; i < 16; i++ {
+			putU32(&b, i, incompressibleWord(r))
+		}
+	default:
+		panic("workload: unknown content class")
+	}
+	return b
+}
+
+// fillFPC places k incompressible 32-bit words at the front of the block
+// and leaves the tail zero, yielding an FPC size of
+// ceil((k*35 + ceil((16-k)/8)*6) / 8) bytes.
+func fillFPC(r *rng.Rand, b *block.Block, k int) {
+	for i := 0; i < k; i++ {
+		putU32(b, i, incompressibleWord(r))
+	}
+}
+
+// mutate rewrites part of the block in place, preserving its class (and so
+// its compressed size), touching roughly sparsity of its value slots. It
+// models an application updating a structure without changing its shape.
+func mutate(r *rng.Rand, b *block.Block, class contentClass, sparsity float64) {
+	switch class {
+	case classZero:
+		// Zero lines stay zero: rewrite flips nothing under DW.
+	case classRep:
+		// Repeated-value lines take a fresh low-half value on every
+		// rewrite (timestamps, sweep counters). Raw storage flips ~16
+		// bits in each of the 8 words; compressed storage confines the
+		// same update to the 8-byte window — a "decreased" event in
+		// Fig 5's terms.
+		v := b.Word(0)&^uint64(0xffff_ffff) | uint64(r.Uint32()) | 1
+		for i := 0; i < 8; i++ {
+			b.SetWord(i, v)
+		}
+	case classN64D1:
+		base := b.Word(0)
+		for _, i := range pick(r, 7, sparsity) {
+			b.SetWord(i+1, base+uint64(r.Intn(201))-100)
+		}
+	case classN32D1:
+		base := getU32(b, 0)
+		for _, i := range pick(r, 15, sparsity) {
+			putU32(b, i+1, base+uint32(r.Intn(201))-100)
+		}
+	case classN64D2:
+		base := b.Word(0)
+		for _, i := range pick(r, 6, sparsity) {
+			b.SetWord(i+2, base+uint64(r.Intn(40001))-20000)
+		}
+	case classN16D1:
+		base := getU16(b, 0)
+		for _, i := range pick(r, 31, sparsity) {
+			putU16(b, i+1, base+uint16(r.Intn(201))-100)
+		}
+	case classN32D2:
+		base := getU32(b, 0)
+		for _, i := range pick(r, 14, sparsity) {
+			putU32(b, i+2, base+uint32(r.Intn(40001))-20000)
+		}
+	case classN64D4:
+		base := b.Word(0)
+		for _, i := range pick(r, 6, sparsity) {
+			b.SetWord(i+2, base+uint64(r.Intn(1<<28))-1<<27)
+		}
+	case classFPC6:
+		mutateFPC(r, b, 6, sparsity)
+	case classFPC11:
+		mutateFPC(r, b, 11, sparsity)
+	case classFPC13:
+		mutateFPC(r, b, 13, sparsity)
+	case classRand:
+		for _, i := range pick(r, 16, sparsity) {
+			putU32(b, i, incompressibleWord(r))
+		}
+	}
+}
+
+func mutateFPC(r *rng.Rand, b *block.Block, k int, sparsity float64) {
+	for _, i := range pick(r, k, sparsity) {
+		putU32(b, i, incompressibleWord(r))
+	}
+}
+
+// shiftUp applies a *minimal* raw mutation that pushes the block into the
+// next-larger encoding of its family — a counter crossing a delta-width
+// boundary, a structure gaining one dense field. The raw data changes by a
+// handful of bits but the compressed layout is re-packed wholesale, which
+// is exactly the "consecutive writes with variable sizes" entropy pathology
+// the paper identifies as the source of increased bit flips (Fig 5-7).
+// It returns the block's new class, or false when the class has no cheap
+// upshift.
+func shiftUp(r *rng.Rand, b *block.Block, class contentClass) (contentClass, bool) {
+	switch class {
+	case classRep:
+		// One word stops matching the repeated value: repeat(8B) -> B8D1.
+		base := b.Word(0)
+		b.SetWord(7, base+uint64(r.Intn(100))+1)
+		return classN64D1, true
+	case classN64D1:
+		// One delta outgrows a byte: B8D1(16B) -> B8D2(24B). Word 1 is
+		// the forced wide delta in generate/mutate for classN64D2.
+		b.SetWord(1, b.Word(0)+5000)
+		return classN64D2, true
+	case classN64D2:
+		// One delta outgrows two bytes: B8D2(24B) -> B8D4(40B).
+		b.SetWord(1, b.Word(0)+1<<20)
+		return classN64D4, true
+	case classN32D1:
+		// B4D1(20B) -> B4D2(36B).
+		putU32(b, 1, getU32(b, 0)+5000)
+		return classN32D2, true
+	case classFPC6:
+		// A structure gains dense words: FPC6(28B) -> FPC11(49B).
+		for i := 6; i < 11; i++ {
+			putU32(b, i, incompressibleWord(r))
+		}
+		return classFPC11, true
+	case classFPC11:
+		// FPC11(49B) -> FPC13(58B).
+		for i := 11; i < 13; i++ {
+			putU32(b, i, incompressibleWord(r))
+		}
+		return classFPC13, true
+	default:
+		return class, false
+	}
+}
+
+// pick returns roughly sparsity*n distinct indices in [0, n), at least one.
+func pick(r *rng.Rand, n int, sparsity float64) []int {
+	count := int(sparsity*float64(n) + 0.5)
+	if count < 1 {
+		count = 1
+	}
+	if count > n {
+		count = n
+	}
+	idx := make([]int, 0, count)
+	for len(idx) < count {
+		v := r.Intn(n)
+		dup := false
+		for _, existing := range idx {
+			if existing == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			idx = append(idx, v)
+		}
+	}
+	return idx
+}
+
+func putU32(b *block.Block, i int, v uint32) {
+	off := i * 4
+	b[off] = byte(v)
+	b[off+1] = byte(v >> 8)
+	b[off+2] = byte(v >> 16)
+	b[off+3] = byte(v >> 24)
+}
+
+func getU32(b *block.Block, i int) uint32 {
+	off := i * 4
+	return uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
+}
+
+func putU16(b *block.Block, i int, v uint16) {
+	off := i * 2
+	b[off] = byte(v)
+	b[off+1] = byte(v >> 8)
+}
+
+func getU16(b *block.Block, i int) uint16 {
+	off := i * 2
+	return uint16(b[off]) | uint16(b[off+1])<<8
+}

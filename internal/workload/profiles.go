@@ -1,0 +1,162 @@
+package workload
+
+import "fmt"
+
+// cw is shorthand for building class mixtures.
+func cw(c contentClass, w float64) ClassWeight { return ClassWeight{class: c, weight: w} }
+
+// profiles holds the 15 SPEC CPU2006 models of Table III. WPKI and CR are
+// the paper's published values; the class mixtures are calibrated so the
+// size-weighted mean approximates CR*64 bytes and the distribution shapes
+// match the paper's qualitative descriptions (Fig 11: milc bimodal with
+// ~80% of addresses under 25B; gcc spread roughly uniformly over 25-64B).
+// SizeChangeProb follows Fig 6's narrative: bzip2 and gcc are highly
+// size-unstable; hmmer, leslie3d, zeusmp, milc and cactusADM are stable.
+var profiles = []Profile{
+	{
+		Name: "GemsFDTD", WPKI: 4.15, CR: 0.70, Class: Low,
+		Mix: []ClassWeight{
+			cw(classN64D2, 0.10), cw(classN16D1, 0.20), cw(classN64D4, 0.25),
+			cw(classFPC11, 0.25), cw(classRand, 0.20),
+		},
+		SizeChangeProb: 0.45, ShiftProb: 0.35, UpdateSparsity: 0.45, ZipfS: 0.8,
+	},
+	{
+		Name: "lbm", WPKI: 15.6, CR: 0.79, Class: Low,
+		Mix: []ClassWeight{
+			cw(classN16D1, 0.10), cw(classN64D4, 0.15), cw(classFPC11, 0.30),
+			cw(classRand, 0.45),
+		},
+		SizeChangeProb: 0.30, ShiftProb: 0.2, UpdateSparsity: 0.60, ZipfS: 0.5,
+	},
+	{
+		Name: "bzip2", WPKI: 4.6, CR: 0.53, Class: Medium,
+		Mix: []ClassWeight{
+			cw(classRep, 0.15), cw(classN64D1, 0.15), cw(classN64D2, 0.15),
+			cw(classN32D2, 0.15), cw(classFPC11, 0.20), cw(classRand, 0.20),
+		},
+		SizeChangeProb: 0.75, ShiftProb: 0.55, UpdateSparsity: 0.50, ZipfS: 0.8,
+	},
+	{
+		Name: "leslie3d", WPKI: 8.32, CR: 0.70, Class: Low,
+		Mix: []ClassWeight{
+			cw(classN64D2, 0.10), cw(classN16D1, 0.20), cw(classN64D4, 0.25),
+			cw(classFPC11, 0.25), cw(classRand, 0.20),
+		},
+		SizeChangeProb: 0.15, ShiftProb: 0.15, UpdateSparsity: 0.40, ZipfS: 0.6,
+	},
+	{
+		Name: "hmmer", WPKI: 1.9, CR: 0.59, Class: Medium,
+		Mix: []ClassWeight{
+			cw(classN64D1, 0.10), cw(classN64D2, 0.15), cw(classN32D2, 0.25),
+			cw(classN64D4, 0.30), cw(classFPC11, 0.10), cw(classRand, 0.10),
+		},
+		SizeChangeProb: 0.20, ShiftProb: 0.25, UpdateSparsity: 0.45, ZipfS: 0.8,
+	},
+	{
+		Name: "mcf", WPKI: 10.35, CR: 0.55, Class: Medium,
+		Mix: []ClassWeight{
+			cw(classRep, 0.10), cw(classN32D1, 0.15), cw(classN16D1, 0.20),
+			cw(classN64D4, 0.25), cw(classFPC11, 0.20), cw(classRand, 0.10),
+		},
+		SizeChangeProb: 0.50, ShiftProb: 0.4, UpdateSparsity: 0.35, ZipfS: 0.9,
+	},
+	{
+		Name: "gobmk", WPKI: 1.14, CR: 0.39, Class: Medium,
+		Mix: []ClassWeight{
+			cw(classZero, 0.20), cw(classN64D1, 0.15), cw(classN32D1, 0.20),
+			cw(classFPC6, 0.20), cw(classN64D4, 0.15), cw(classRand, 0.10),
+		},
+		SizeChangeProb: 0.45, ShiftProb: 0.4, UpdateSparsity: 0.55, ZipfS: 0.9,
+	},
+	{
+		Name: "bwaves", WPKI: 9.78, CR: 0.34, Class: Medium,
+		Mix: []ClassWeight{
+			cw(classZero, 0.25), cw(classN64D1, 0.20), cw(classN32D1, 0.20),
+			cw(classFPC6, 0.15), cw(classN64D4, 0.10), cw(classRand, 0.10),
+		},
+		SizeChangeProb: 0.30, ShiftProb: 0.3, UpdateSparsity: 0.40, ZipfS: 0.5,
+	},
+	{
+		Name: "astar", WPKI: 1.04, CR: 0.53, Class: Medium,
+		Mix: []ClassWeight{
+			cw(classRep, 0.12), cw(classN32D1, 0.20), cw(classN16D1, 0.25),
+			cw(classN64D4, 0.28), cw(classRand, 0.15),
+		},
+		SizeChangeProb: 0.50, ShiftProb: 0.45, UpdateSparsity: 0.45, ZipfS: 0.9,
+	},
+	{
+		Name: "calculix", WPKI: 1.08, CR: 0.37, Class: Medium,
+		Mix: []ClassWeight{
+			cw(classZero, 0.22), cw(classN64D1, 0.18), cw(classN32D1, 0.22),
+			cw(classFPC6, 0.18), cw(classN64D4, 0.10), cw(classRand, 0.10),
+		},
+		SizeChangeProb: 0.40, ShiftProb: 0.35, UpdateSparsity: 0.45, ZipfS: 0.8,
+	},
+	{
+		Name: "sjeng", WPKI: 4.38, CR: 0.08, Class: High,
+		Mix: []ClassWeight{
+			cw(classZero, 0.48), cw(classRep, 0.34), cw(classN64D1, 0.13),
+			cw(classN32D1, 0.05),
+		},
+		SizeChangeProb: 0.20, ShiftProb: 0.2, UpdateSparsity: 0.50, ZipfS: 0.9,
+	},
+	{
+		Name: "gcc", WPKI: 8.05, CR: 0.50, Class: Medium,
+		Mix: []ClassWeight{
+			cw(classRep, 0.10), cw(classN32D1, 0.15), cw(classFPC6, 0.20),
+			cw(classN16D1, 0.25), cw(classN64D4, 0.15), cw(classFPC11, 0.07),
+			cw(classRand, 0.08),
+		},
+		SizeChangeProb: 0.75, ShiftProb: 0.55, UpdateSparsity: 0.50, ZipfS: 0.8,
+	},
+	{
+		Name: "zeusmp", WPKI: 5.46, CR: 0.05, Class: High,
+		Mix: []ClassWeight{
+			cw(classZero, 0.80), cw(classRep, 0.12), cw(classN64D1, 0.08),
+		},
+		SizeChangeProb: 0.15, ShiftProb: 0.1, UpdateSparsity: 0.40, ZipfS: 0.6,
+	},
+	{
+		Name: "milc", WPKI: 3.4, CR: 0.29, Class: High,
+		Mix: []ClassWeight{
+			cw(classZero, 0.25), cw(classN64D1, 0.25), cw(classN32D1, 0.20),
+			cw(classN64D2, 0.10), cw(classN64D4, 0.10), cw(classFPC11, 0.10),
+		},
+		SizeChangeProb: 0.25, ShiftProb: 0.2, UpdateSparsity: 0.40, ZipfS: 0.7,
+	},
+	{
+		Name: "cactusADM", WPKI: 8.09, CR: 0.03, Class: High,
+		Mix: []ClassWeight{
+			cw(classZero, 0.90), cw(classRep, 0.08), cw(classN64D1, 0.02),
+		},
+		SizeChangeProb: 0.10, ShiftProb: 0.05, UpdateSparsity: 0.35, ZipfS: 0.6,
+	},
+}
+
+// Profiles returns the 15 Table III application models, in the paper's
+// figure order.
+func Profiles() []Profile {
+	out := make([]Profile, len(profiles))
+	copy(out, profiles)
+	return out
+}
+
+// ByName returns the profile for the given SPEC benchmark name.
+func ByName(name string) (Profile, error) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown profile %q", name)
+}
+
+// Names returns all profile names in order.
+func Names() []string {
+	out := make([]string, len(profiles))
+	for i, p := range profiles {
+		out[i] = p.Name
+	}
+	return out
+}
