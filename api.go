@@ -7,6 +7,8 @@ package pcmcomp
 // the workload models, and the lifetime / Monte-Carlo experiment drivers.
 
 import (
+	"context"
+
 	"pcmcomp/internal/block"
 	"pcmcomp/internal/compress"
 	"pcmcomp/internal/config"
@@ -18,7 +20,9 @@ import (
 	"pcmcomp/internal/ecc/secded"
 	"pcmcomp/internal/lifetime"
 	"pcmcomp/internal/montecarlo"
+	"pcmcomp/internal/parallel"
 	"pcmcomp/internal/pcm"
+	"pcmcomp/internal/server"
 	"pcmcomp/internal/trace"
 	"pcmcomp/internal/workload"
 )
@@ -150,6 +154,12 @@ func RunLifetime(cfg LifetimeConfig, events []TraceEvent) (LifetimeResult, error
 	return lifetime.Run(cfg, events)
 }
 
+// RunLifetimeContext is RunLifetime with cancellation: on context expiry it
+// returns the partial result accumulated so far together with ctx.Err().
+func RunLifetimeContext(ctx context.Context, cfg LifetimeConfig, events []TraceEvent) (LifetimeResult, error) {
+	return lifetime.RunContext(ctx, cfg, events)
+}
+
 // FailureProbability estimates the Fig 9 Monte-Carlo failure probability
 // of placing a windowBytes payload in a line with errors uniform stuck
 // cells under the scheme.
@@ -171,3 +181,29 @@ var (
 	ScaleDefault = config.ScaleDefault
 	ScaleLarge   = config.ScaleLarge
 )
+
+// ScaleByName returns a preset by name ("quick", "default", "large").
+func ScaleByName(name string) (Scale, error) { return config.ByName(name) }
+
+// --- Concurrency ---
+
+// ForEach runs fn(i) for i in [0, n) with at most limit invocations in
+// flight (limit <= 0 selects the CPU count); the lowest-index error wins.
+// It is the bounded-concurrency primitive behind the experiment drivers
+// and the pcmd service worker pool.
+func ForEach(n, limit int, fn func(i int) error) error { return parallel.ForEach(n, limit, fn) }
+
+// --- Service ---
+
+// Service is the pcmd HTTP simulation service: the expensive computations
+// exposed as asynchronous jobs on a bounded worker pool with a
+// content-addressed result cache. It implements http.Handler; serve it
+// with any http.Server and stop it with Shutdown. See cmd/pcmd for the
+// ready-made daemon.
+type Service = server.Server
+
+// ServiceConfig parameterizes a Service.
+type ServiceConfig = server.Config
+
+// NewService builds a Service and starts its worker pool.
+func NewService(cfg ServiceConfig) *Service { return server.New(cfg) }

@@ -64,18 +64,7 @@ func run(args []string) error {
 	return runOne(name, scale, opts, *seed, *seeds, *trials)
 }
 
-func scaleByName(name string) (config.Scale, error) {
-	switch name {
-	case "quick":
-		return config.ScaleQuick, nil
-	case "default":
-		return config.ScaleDefault, nil
-	case "large":
-		return config.ScaleLarge, nil
-	default:
-		return config.Scale{}, fmt.Errorf("unknown scale %q", name)
-	}
-}
+func scaleByName(name string) (config.Scale, error) { return config.ByName(name) }
 
 func runOne(name string, scale config.Scale, opts experiments.LifetimeOptions, seed uint64, seeds, trials int) error {
 	lines, events := scale.TraceLines, scale.TraceEvents

@@ -6,14 +6,21 @@
 //
 //	lifetime -app milc [-system all|baseline|comp|comp+w|comp+wf]
 //	         [-scale quick|default|large] [-trace file.pcmt] [-seed N]
+//
+// Ctrl-C (or SIGTERM) interrupts the replay at the next check interval and
+// prints the statistics accumulated so far before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"pcmcomp/internal/config"
 	"pcmcomp/internal/core"
@@ -28,13 +35,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "lifetime:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("lifetime", flag.ContinueOnError)
 	app := fs.String("app", "gcc", "workload profile name")
 	system := fs.String("system", "all", "baseline, comp, comp+w, comp+wf, or all")
@@ -47,16 +56,9 @@ func run(args []string) error {
 		return err
 	}
 
-	var scale config.Scale
-	switch *scaleName {
-	case "quick":
-		scale = config.ScaleQuick
-	case "default":
-		scale = config.ScaleDefault
-	case "large":
-		scale = config.ScaleLarge
-	default:
-		return fmt.Errorf("unknown scale %q", *scaleName)
+	scale, err := config.ByName(*scaleName)
+	if err != nil {
+		return err
 	}
 
 	prof, err := workload.ByName(*app)
@@ -114,22 +116,29 @@ func run(args []string) error {
 		ctrl.Scheme = scheme
 		ctrl.UseFNW = *useFNW
 		cfg := lifetime.DefaultConfig(ctrl)
-		res, err := lifetime.Run(cfg, events)
-		if err != nil {
+		res, err := lifetime.RunContext(ctx, cfg, events)
+		interrupted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+		if err != nil && !interrupted {
 			return err
 		}
 		tm := lifetime.DefaultTimeModel(prof.WPKI, scale.EnduranceScale(), scale.CapacityScale())
 		fmt.Printf("%-9s demand writes %12d  replays %6d  projected %7.1f months",
 			sys, res.DemandWrites, res.Replays, tm.Months(res.DemandWrites))
-		if i == 0 {
+		switch {
+		case interrupted:
+			fmt.Printf("  (interrupted)\n")
+		case i == 0:
 			baseline = res
 			fmt.Printf("  (reference)\n")
-		} else {
+		default:
 			fmt.Printf("  %5.2fx\n", res.Normalized(baseline))
 		}
 		s := res.Stats
 		fmt.Printf("          flips %d, uncorrectable %d, resurrections %d, gap moves %d, rotations %d\n",
 			s.BitFlips, s.UncorrectableErrors, s.Resurrections, s.GapMovements, s.Rotations)
+		if interrupted {
+			return fmt.Errorf("interrupted, stats above are partial: %w", err)
+		}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -10,7 +11,7 @@ import (
 )
 
 func TestSingleSystemRun(t *testing.T) {
-	if err := run([]string{"-app", "milc", "-system", "baseline", "-scale", "quick"}); err != nil {
+	if err := run(context.Background(), []string{"-app", "milc", "-system", "baseline", "-scale", "quick"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -19,7 +20,7 @@ func TestAllSystemsRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("four lifetime runs")
 	}
-	if err := run([]string{"-app", "sjeng", "-system", "all", "-scale", "quick"}); err != nil {
+	if err := run(context.Background(), []string{"-app", "sjeng", "-system", "all", "-scale", "quick"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -44,31 +45,31 @@ func TestTraceReplay(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-app", "gcc", "-system", "comp+wf", "-scale", "quick", "-trace", path}); err != nil {
+	if err := run(context.Background(), []string{"-app", "gcc", "-system", "comp+wf", "-scale", "quick", "-trace", path}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestBadArgs(t *testing.T) {
-	if err := run([]string{"-system", "bogus"}); err == nil {
+	if err := run(context.Background(), []string{"-system", "bogus"}); err == nil {
 		t.Fatal("bogus system accepted")
 	}
-	if err := run([]string{"-scale", "bogus"}); err == nil {
+	if err := run(context.Background(), []string{"-scale", "bogus"}); err == nil {
 		t.Fatal("bogus scale accepted")
 	}
-	if err := run([]string{"-app", "bogus"}); err == nil {
+	if err := run(context.Background(), []string{"-app", "bogus"}); err == nil {
 		t.Fatal("bogus app accepted")
 	}
-	if err := run([]string{"-trace", "/nonexistent/file.pcmt"}); err == nil {
+	if err := run(context.Background(), []string{"-trace", "/nonexistent/file.pcmt"}); err == nil {
 		t.Fatal("missing trace accepted")
 	}
 }
 
 func TestSchemeAndFNWFlags(t *testing.T) {
-	if err := run([]string{"-app", "milc", "-system", "comp+wf", "-scale", "quick", "-ecc", "safer", "-fnw"}); err != nil {
+	if err := run(context.Background(), []string{"-app", "milc", "-system", "comp+wf", "-scale", "quick", "-ecc", "safer", "-fnw"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-ecc", "bogus"}); err == nil {
+	if err := run(context.Background(), []string{"-ecc", "bogus"}); err == nil {
 		t.Fatal("bogus ECC scheme accepted")
 	}
 }
@@ -128,7 +129,7 @@ func TestGzipTraceReplay(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-app", "sjeng", "-system", "comp", "-scale", "quick", "-trace", path}); err != nil {
+	if err := run(context.Background(), []string{"-app", "sjeng", "-system", "comp", "-scale", "quick", "-trace", path}); err != nil {
 		t.Fatal(err)
 	}
 }

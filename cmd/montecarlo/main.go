@@ -6,25 +6,34 @@
 //
 //	montecarlo -scheme ecp|safer|aegis -window 32 -max-errors 128
 //	           -trials 100000 [-seed N]
+//
+// Ctrl-C (or SIGTERM) interrupts the sweep and prints the curve points
+// computed so far before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"pcmcomp/internal/experiments"
 	"pcmcomp/internal/montecarlo"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "montecarlo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("montecarlo", flag.ContinueOnError)
 	schemeName := fs.String("scheme", "ecp", "ecp, safer, or aegis")
 	window := fs.Int("window", 32, "compressed-data window size in bytes (1-64)")
@@ -39,8 +48,9 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	curve, err := montecarlo.Curve(scheme, *window, *maxErrors, *trials, *seed)
-	if err != nil {
+	curve, err := montecarlo.CurveContext(ctx, scheme, *window, *maxErrors, *trials, *seed)
+	interrupted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	if err != nil && !interrupted {
 		return err
 	}
 	fmt.Printf("# %s, %dB window, %d trials/point\n", scheme.Name(), *window, *trials)
@@ -49,5 +59,8 @@ func run(args []string) error {
 		fmt.Printf("%6d  %.5f\n", i+1, p)
 	}
 	fmt.Printf("# tolerable at p<=0.5: %d faults\n", montecarlo.TolerableAt(curve, 0.5))
+	if interrupted {
+		return fmt.Errorf("interrupted after %d of %d points: %w", len(curve), *maxErrors, err)
+	}
 	return nil
 }

@@ -1,23 +1,26 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunSmall(t *testing.T) {
 	for _, scheme := range []string{"ecp", "safer", "aegis"} {
-		if err := run([]string{"-scheme", scheme, "-window", "16", "-max-errors", "10", "-trials", "50"}); err != nil {
+		if err := run(context.Background(), []string{"-scheme", scheme, "-window", "16", "-max-errors", "10", "-trials", "50"}); err != nil {
 			t.Fatalf("%s: %v", scheme, err)
 		}
 	}
 }
 
 func TestBadArgs(t *testing.T) {
-	if err := run([]string{"-scheme", "bogus"}); err == nil {
+	if err := run(context.Background(), []string{"-scheme", "bogus"}); err == nil {
 		t.Fatal("bogus scheme accepted")
 	}
-	if err := run([]string{"-window", "0"}); err == nil {
+	if err := run(context.Background(), []string{"-window", "0"}); err == nil {
 		t.Fatal("window 0 accepted")
 	}
-	if err := run([]string{"-trials", "0"}); err == nil {
+	if err := run(context.Background(), []string{"-trials", "0"}); err == nil {
 		t.Fatal("trials 0 accepted")
 	}
 }

@@ -1,0 +1,97 @@
+// Command pcmd serves the repository's simulations over HTTP: lifetime
+// runs, Fig 9 Monte-Carlo failure-probability curves, and compression
+// sweeps are submitted as asynchronous jobs, executed on a bounded worker
+// pool, and memoized in a content-addressed result cache. See
+// internal/server for the API surface and README.md for curl examples.
+//
+// Usage:
+//
+//	pcmd [-addr :8080] [-workers N] [-queue 64] [-cache 256]
+//	     [-job-timeout 15m] [-drain-timeout 30s]
+//
+// SIGINT/SIGTERM begin a graceful drain: new submissions get 503, running
+// and queued jobs finish (up to -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pcmcomp/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "pcmd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service and blocks until the context is cancelled and the
+// drain completes. If ready is non-nil, the bound address is sent on it
+// once the listener is up (used by tests to discover an ephemeral port).
+func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
+	fs := flag.NewFlagSet("pcmd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "job queue depth")
+	cacheEntries := fs.Int("cache", 256, "result cache entries (negative disables)")
+	jobTimeout := fs.Duration("job-timeout", 15*time.Minute, "per-job execution deadline")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "shutdown drain deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	svc := server.New(server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheEntries,
+		JobTimeout:   *jobTimeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	httpSrv := &http.Server{Handler: svc}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	log.Printf("pcmd: serving on %s (%d workers)", ln.Addr(), *workers)
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("pcmd: draining (deadline %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain the pool first while the listener keeps serving: new
+	// submissions get 503 and pollers can watch their jobs finish. Only
+	// then close the HTTP side.
+	svcErr := svc.Shutdown(drainCtx)
+	httpErr := httpSrv.Shutdown(drainCtx)
+	if svcErr != nil {
+		return fmt.Errorf("drain incomplete: %w", svcErr)
+	}
+	if httpErr != nil && !errors.Is(httpErr, context.DeadlineExceeded) {
+		return httpErr
+	}
+	log.Printf("pcmd: drained, exiting")
+	return nil
+}

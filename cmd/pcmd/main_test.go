@@ -1,0 +1,96 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeSubmitDrain boots the daemon on an ephemeral port, runs one
+// compression job end to end, then cancels the context and verifies the
+// graceful drain path returns cleanly.
+func TestServeSubmitDrain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2"}, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr.String()
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	body := strings.NewReader(`{"apps": ["milc"], "scale": "quick"}`)
+	resp, err = http.Post(base+"/v1/jobs/compression", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for job.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", job.ID, job.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+		resp, err := http.Get(base + "/v1/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if job.State == "failed" {
+			t.Fatalf("job failed")
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(45 * time.Second):
+		t.Fatal("drain did not complete")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-bogus"}, nil); err == nil {
+		t.Fatal("bogus flag accepted")
+	}
+	// An unlistenable address must fail fast, not hang.
+	if err := run(context.Background(), []string{"-addr", "256.0.0.1:http"}, nil); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

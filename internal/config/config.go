@@ -72,6 +72,24 @@ var (
 	}
 )
 
+// ByName returns the preset with the given name ("quick", "default",
+// "large"), shared by the CLI flag parsers and the pcmd service validator.
+func ByName(name string) (Scale, error) {
+	switch name {
+	case "quick":
+		return ScaleQuick, nil
+	case "default":
+		return ScaleDefault, nil
+	case "large":
+		return ScaleLarge, nil
+	default:
+		return Scale{}, fmt.Errorf("config: unknown scale %q (want quick, default, or large)", name)
+	}
+}
+
+// Names lists the preset names ByName accepts, fastest first.
+func Names() []string { return []string{ScaleQuick.Name, ScaleDefault.Name, ScaleLarge.Name} }
+
 // Validate checks the preset.
 func (s Scale) Validate() error {
 	if s.EnduranceMean < 1 {

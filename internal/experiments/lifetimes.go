@@ -2,12 +2,11 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"pcmcomp/internal/config"
 	"pcmcomp/internal/core"
 	"pcmcomp/internal/lifetime"
+	"pcmcomp/internal/parallel"
 	"pcmcomp/internal/stats"
 	"pcmcomp/internal/trace"
 	"pcmcomp/internal/workload"
@@ -17,25 +16,9 @@ import (
 // the CPU count. Runs are independent and internally seeded, so results
 // are deterministic regardless of scheduling; the first error wins.
 func forEachApp(fn func(i int, app string) error) error {
-	sem := make(chan struct{}, runtime.NumCPU())
-	errs := make([]error, len(FigureOrder))
-	var wg sync.WaitGroup
-	for i, app := range FigureOrder {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, app string) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			errs[i] = fn(i, app)
-		}(i, app)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return parallel.ForEach(len(FigureOrder), 0, func(i int) error {
+		return fn(i, FigureOrder[i])
+	})
 }
 
 // LifetimeOptions parameterize the lifetime experiments (Figs 10/12/13,

@@ -18,6 +18,7 @@
 package lifetime
 
 import (
+	"context"
 	"fmt"
 
 	"pcmcomp/internal/core"
@@ -91,6 +92,16 @@ func (r Result) Normalized(baseline Result) float64 {
 // cfg until failure. The trace's addresses are folded onto the controller's
 // logical address space.
 func Run(cfg Config, events []trace.Event) (Result, error) {
+	return RunContext(context.Background(), cfg, events)
+}
+
+// RunContext is Run with cancellation: the context is polled at the same
+// cadence as the dead-fraction check (CheckEvery demand writes), so an
+// expired deadline or an interrupt stops the replay within one check
+// interval. On cancellation it returns the partial Result accumulated so
+// far — with Stats and FinalDeadFraction filled in, so callers can report
+// progress — together with ctx.Err().
+func RunContext(ctx context.Context, cfg Config, events []trace.Event) (Result, error) {
 	if len(events) == 0 {
 		return Result{}, fmt.Errorf("lifetime: empty trace")
 	}
@@ -107,6 +118,11 @@ func Run(cfg Config, events []trace.Event) (Result, error) {
 	}
 	logical := ctrl.LogicalLines()
 
+	snapshot := func(res *Result) {
+		res.FinalDeadFraction = ctrl.DeadFraction()
+		res.Stats = ctrl.Stats()
+	}
+
 	var res Result
 	for {
 		res.Replays++
@@ -114,16 +130,19 @@ func Run(cfg Config, events []trace.Event) (Result, error) {
 			addr := events[i].Addr % logical
 			ctrl.Write(addr, &events[i].Data)
 			res.DemandWrites++
-			if res.DemandWrites%uint64(checkEvery) == 0 &&
-				ctrl.DeadFraction() >= cfg.FailureFraction {
-				res.Failed = true
-				res.FinalDeadFraction = ctrl.DeadFraction()
-				res.Stats = ctrl.Stats()
-				return res, nil
+			if res.DemandWrites%uint64(checkEvery) == 0 {
+				if ctrl.DeadFraction() >= cfg.FailureFraction {
+					res.Failed = true
+					snapshot(&res)
+					return res, nil
+				}
+				if err := ctx.Err(); err != nil {
+					snapshot(&res)
+					return res, err
+				}
 			}
 			if cfg.MaxDemandWrites > 0 && res.DemandWrites >= cfg.MaxDemandWrites {
-				res.FinalDeadFraction = ctrl.DeadFraction()
-				res.Stats = ctrl.Stats()
+				snapshot(&res)
 				return res, nil
 			}
 		}

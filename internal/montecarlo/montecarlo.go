@@ -7,6 +7,7 @@
 package montecarlo
 
 import (
+	"context"
 	"fmt"
 
 	"pcmcomp/internal/block"
@@ -63,6 +64,17 @@ func Survives(scheme ecc.Scheme, faults *ecc.FaultSet, windowBytes int) bool {
 
 // FailureProbability estimates P(line unusable) for the configuration.
 func FailureProbability(cfg Config) (float64, error) {
+	return FailureProbabilityContext(context.Background(), cfg)
+}
+
+// ctxCheckEvery is how many Monte-Carlo trials pass between context polls:
+// rare enough to stay off the hot path, frequent enough that cancellation
+// lands within milliseconds.
+const ctxCheckEvery = 4096
+
+// FailureProbabilityContext is FailureProbability with cancellation, polled
+// every few thousand trials. On cancellation it returns 0 and ctx.Err().
+func FailureProbabilityContext(ctx context.Context, cfg Config) (float64, error) {
 	if err := cfg.Validate(); err != nil {
 		return 0, err
 	}
@@ -70,6 +82,11 @@ func FailureProbability(cfg Config) (float64, error) {
 	failures := 0
 	var faults ecc.FaultSet
 	for trial := 0; trial < cfg.Trials; trial++ {
+		if trial%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
 		faults.Clear()
 		injectUniform(r, &faults, cfg.Errors)
 		if !Survives(cfg.Scheme, &faults, cfg.WindowBytes) {
@@ -93,16 +110,26 @@ func injectUniform(r *rng.Rand, faults *ecc.FaultSet, n int) {
 // Curve sweeps the error count from 1 to maxErrors and returns the failure
 // probability at each point (index 0 holds 1 error).
 func Curve(scheme ecc.Scheme, windowBytes, maxErrors, trials int, seed uint64) ([]float64, error) {
-	out := make([]float64, maxErrors)
+	return CurveContext(context.Background(), scheme, windowBytes, maxErrors, trials, seed)
+}
+
+// CurveContext is Curve with cancellation. On cancellation it returns the
+// points computed so far (a prefix of the curve, possibly empty) together
+// with ctx.Err(), so callers can report partial progress.
+func CurveContext(ctx context.Context, scheme ecc.Scheme, windowBytes, maxErrors, trials int, seed uint64) ([]float64, error) {
+	out := make([]float64, 0, maxErrors)
 	for e := 1; e <= maxErrors; e++ {
-		p, err := FailureProbability(Config{
+		p, err := FailureProbabilityContext(ctx, Config{
 			Scheme: scheme, WindowBytes: windowBytes,
 			Errors: e, Trials: trials, Seed: seed + uint64(e),
 		})
 		if err != nil {
+			if ctx.Err() != nil {
+				return out, err
+			}
 			return nil, err
 		}
-		out[e-1] = p
+		out = append(out, p)
 	}
 	return out, nil
 }

@@ -1,0 +1,92 @@
+package parallel
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	err := ForEach(100, 4, func(i int) error {
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 100 {
+		t.Fatalf("ran %d of 100 indices", len(seen))
+	}
+}
+
+func TestForEachFirstErrorWins(t *testing.T) {
+	e3, e7 := errors.New("three"), errors.New("seven")
+	err := ForEach(10, 10, func(i int) error {
+		switch i {
+		case 3:
+			return e3
+		case 7:
+			return e7
+		}
+		return nil
+	})
+	if err != e3 {
+		t.Fatalf("got %v, want the lowest-index error %v", err, e3)
+	}
+}
+
+func TestForEachErrorDoesNotCancelOthers(t *testing.T) {
+	var ran atomic.Int64
+	err := ForEach(50, 2, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("early")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if ran.Load() != 50 {
+		t.Fatalf("ran %d of 50 after an early error", ran.Load())
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	var cur, peak atomic.Int64
+	err := ForEach(64, 3, func(i int) error {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		defer cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > 3 {
+		t.Fatalf("observed %d concurrent invocations, limit 3", peak.Load())
+	}
+}
+
+func TestForEachEdgeCases(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+	var ran atomic.Int64
+	if err := ForEach(5, 0, func(int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatalf("limit=0: %v", err)
+	}
+	if ran.Load() != 5 {
+		t.Fatalf("limit=0 ran %d of 5", ran.Load())
+	}
+}

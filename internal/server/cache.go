@@ -1,0 +1,75 @@
+package server
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+)
+
+// resultCache is a content-addressed LRU over marshaled job results: the
+// key is the SHA-256 of (kind, canonical params JSON) and the value is the
+// exact result bytes, so a cache hit returns a byte-identical payload to
+// the run that populated it. Capacity is counted in entries — result
+// payloads are small (a few KB of JSON) relative to the minutes of compute
+// they memoize.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val json.RawMessage
+}
+
+// newResultCache builds a cache holding up to capacity entries
+// (capacity <= 0 disables caching: every Get misses, every Put drops).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result for key, promoting it to most recently
+// used.
+func (c *resultCache) Get(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores a result, evicting the least recently used entry when full.
+func (c *resultCache) Put(key string, val json.RawMessage) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the current entry count.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

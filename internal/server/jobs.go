@@ -1,0 +1,502 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"pcmcomp/internal/block"
+	"pcmcomp/internal/compress"
+	"pcmcomp/internal/config"
+	"pcmcomp/internal/core"
+	"pcmcomp/internal/experiments"
+	"pcmcomp/internal/lifetime"
+	"pcmcomp/internal/montecarlo"
+	"pcmcomp/internal/stats"
+	"pcmcomp/internal/workload"
+)
+
+// Kind names one of the expensive computations the service exposes.
+type Kind string
+
+// The three job kinds, one per POST /v1/jobs/{kind} endpoint.
+const (
+	KindLifetime           Kind = "lifetime"
+	KindFailureProbability Kind = "failure-probability"
+	KindCompression        Kind = "compression"
+)
+
+// Kinds lists every job kind, in endpoint order.
+var Kinds = []Kind{KindLifetime, KindFailureProbability, KindCompression}
+
+// State is a job's lifecycle phase.
+type State string
+
+// Jobs move queued -> running -> done|failed; a cache hit is born done.
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// params is the behavior every job-kind parameter struct implements. The
+// structs double as the canonical cache-key material: normalize fills in
+// defaults so that two requests differing only in omitted-vs-explicit
+// defaults hash identically.
+type params interface {
+	// normalize applies defaults and validates; the returned error text is
+	// sent to the client verbatim with a 400 status.
+	normalize() error
+	// run executes the computation and returns a JSON-serializable result.
+	run(ctx context.Context) (any, error)
+}
+
+// cacheKey derives the content address of a job: the SHA-256 of the kind
+// and the canonical JSON of its normalized parameters. Struct marshaling in
+// Go is deterministic (fields in declaration order, no map iteration), so
+// identical sweeps collide exactly.
+func cacheKey(kind Kind, p params) (string, error) {
+	buf, err := json.Marshal(p)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{'\n'})
+	h.Write(buf)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Job is one asynchronous computation tracked by the store. Mutable fields
+// are guarded by the owning store's mutex; the run closure is invoked by
+// exactly one pool worker.
+type Job struct {
+	ID       string          `json:"id"`
+	Kind     Kind            `json:"kind"`
+	State    State           `json:"state"`
+	CacheKey string          `json:"cache_key"`
+	CacheHit bool            `json:"cache_hit"`
+	Created  time.Time       `json:"created"`
+	Started  *time.Time      `json:"started,omitempty"`
+	Finished *time.Time      `json:"finished,omitempty"`
+	Params   any             `json:"params"`
+	Result   json.RawMessage `json:"result,omitempty"`
+	Error    string          `json:"error,omitempty"`
+
+	run params
+}
+
+// store is the in-memory job registry. Jobs are never evicted: one sweep's
+// worth of handles is small, and the result payloads live in the bounded
+// LRU cache anyway.
+type store struct {
+	mu   sync.Mutex
+	seq  uint64
+	jobs map[string]*Job
+}
+
+func newStore() *store { return &store{jobs: make(map[string]*Job)} }
+
+// add registers a new job and assigns its ID. IDs embed a sequence number
+// and the cache-key prefix, so logs correlate job handles with results.
+func (s *store) add(kind Kind, p params, key string, now time.Time) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := &Job{
+		ID:       fmt.Sprintf("j%06d-%s", s.seq, key[:8]),
+		Kind:     kind,
+		State:    StateQueued,
+		CacheKey: key,
+		Created:  now,
+		Params:   p,
+		run:      p,
+	}
+	s.jobs[j.ID] = j
+	return j
+}
+
+// get returns a snapshot of a job (copy, so callers can marshal it without
+// holding the lock).
+func (s *store) get(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// list returns snapshots of every job, unordered.
+func (s *store) list() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, *j)
+	}
+	return out
+}
+
+// setRunning marks a job started.
+func (s *store) setRunning(j *Job, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.State = StateRunning
+	j.Started = &now
+}
+
+// setDone records a successful result.
+func (s *store) setDone(j *Job, result json.RawMessage, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.State = StateDone
+	j.Result = result
+	j.Finished = &now
+}
+
+// finishCached completes a job immediately from a cached result.
+func (s *store) finishCached(j *Job, result json.RawMessage, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.State = StateDone
+	j.CacheHit = true
+	j.Result = result
+	j.Started = &now
+	j.Finished = &now
+}
+
+// setFailed records a failure.
+func (s *store) setFailed(j *Job, err error, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.State = StateFailed
+	j.Error = err.Error()
+	j.Finished = &now
+}
+
+// --- lifetime jobs ---
+
+// LifetimeParams parameterize POST /v1/jobs/lifetime: the same run
+// cmd/lifetime performs, per requested system, on a generated trace.
+type LifetimeParams struct {
+	// App is the workload profile name (required).
+	App string `json:"app"`
+	// Scale is the substrate preset name (default "quick").
+	Scale string `json:"scale"`
+	// Systems lists the systems to run (default all four, baseline first).
+	Systems []string `json:"systems"`
+	// Seed drives trace generation and endurance sampling (default 1,
+	// matching the CLI).
+	Seed uint64 `json:"seed"`
+	// MaxDemandWrites caps each run (0 = none).
+	MaxDemandWrites uint64 `json:"max_demand_writes"`
+}
+
+// systemByName maps the CLI spellings onto core.SystemKind.
+func systemByName(name string) (core.SystemKind, error) {
+	switch name {
+	case "baseline":
+		return core.Baseline, nil
+	case "comp":
+		return core.Comp, nil
+	case "comp+w", "compw":
+		return core.CompW, nil
+	case "comp+wf", "compwf":
+		return core.CompWF, nil
+	default:
+		return 0, fmt.Errorf("unknown system %q (want baseline, comp, comp+w, or comp+wf)", name)
+	}
+}
+
+func (p *LifetimeParams) normalize() error {
+	if p.App == "" {
+		return fmt.Errorf("app is required")
+	}
+	if _, err := workload.ByName(p.App); err != nil {
+		return err
+	}
+	if p.Scale == "" {
+		p.Scale = config.ScaleQuick.Name
+	}
+	if _, err := config.ByName(p.Scale); err != nil {
+		return err
+	}
+	if len(p.Systems) == 0 {
+		p.Systems = []string{"baseline", "comp", "comp+w", "comp+wf"}
+	}
+	for i, name := range p.Systems {
+		sys, err := systemByName(name)
+		if err != nil {
+			return err
+		}
+		// Canonical spelling, so "compwf" and "comp+wf" share a cache key.
+		p.Systems[i] = map[core.SystemKind]string{
+			core.Baseline: "baseline", core.Comp: "comp",
+			core.CompW: "comp+w", core.CompWF: "comp+wf",
+		}[sys]
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return nil
+}
+
+// LifetimeSystemResult is one system's row of a lifetime job result.
+type LifetimeSystemResult struct {
+	System            string  `json:"system"`
+	DemandWrites      uint64  `json:"demand_writes"`
+	Replays           int     `json:"replays"`
+	Failed            bool    `json:"failed"`
+	ProjectedMonths   float64 `json:"projected_months"`
+	Normalized        float64 `json:"normalized"`
+	BitFlips          uint64  `json:"bit_flips"`
+	Uncorrectable     uint64  `json:"uncorrectable_errors"`
+	Resurrections     uint64  `json:"resurrections"`
+	GapMovements      uint64  `json:"gap_movements"`
+	Rotations         uint64  `json:"rotations"`
+	FinalDeadFraction float64 `json:"final_dead_fraction"`
+}
+
+// LifetimeResult is the result payload of a lifetime job.
+type LifetimeResult struct {
+	App     string                 `json:"app"`
+	Scale   string                 `json:"scale"`
+	Seed    uint64                 `json:"seed"`
+	Systems []LifetimeSystemResult `json:"systems"`
+}
+
+func (p *LifetimeParams) run(ctx context.Context) (any, error) {
+	scale, err := config.ByName(p.Scale)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := workload.ByName(p.App)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewGenerator(prof, scale.TraceLines, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	events := gen.GenerateTrace(scale.TraceEvents)
+	tm := lifetime.DefaultTimeModel(prof.WPKI, scale.EnduranceScale(), scale.CapacityScale())
+
+	out := LifetimeResult{App: p.App, Scale: p.Scale, Seed: p.Seed}
+	var reference uint64
+	for i, name := range p.Systems {
+		sys, err := systemByName(name)
+		if err != nil {
+			return nil, err
+		}
+		ctrl := core.DefaultConfig(sys, scale.Substrate(p.Seed))
+		cfg := lifetime.DefaultConfig(ctrl)
+		cfg.MaxDemandWrites = p.MaxDemandWrites
+		res, err := lifetime.RunContext(ctx, cfg, events)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			reference = res.DemandWrites
+		}
+		norm := 0.0
+		if reference > 0 {
+			norm = float64(res.DemandWrites) / float64(reference)
+		}
+		s := res.Stats
+		out.Systems = append(out.Systems, LifetimeSystemResult{
+			System:            name,
+			DemandWrites:      res.DemandWrites,
+			Replays:           res.Replays,
+			Failed:            res.Failed,
+			ProjectedMonths:   tm.Months(res.DemandWrites),
+			Normalized:        norm,
+			BitFlips:          s.BitFlips,
+			Uncorrectable:     s.UncorrectableErrors,
+			Resurrections:     s.Resurrections,
+			GapMovements:      s.GapMovements,
+			Rotations:         s.Rotations,
+			FinalDeadFraction: res.FinalDeadFraction,
+		})
+	}
+	return out, nil
+}
+
+// --- failure-probability jobs ---
+
+// maxTrials bounds a single request's Monte-Carlo cost (the paper's own
+// setting is 100,000 trials per point).
+const maxTrials = 1_000_000
+
+// FailureProbabilityParams parameterize POST /v1/jobs/failure-probability:
+// one Fig 9 curve (failure probability vs injected error count).
+type FailureProbabilityParams struct {
+	// Scheme is ecp, safer, or aegis (default "ecp").
+	Scheme string `json:"scheme"`
+	// Window is the compressed-data window size in bytes (default 32).
+	Window int `json:"window"`
+	// MaxErrors is the largest injected fault count (default 64).
+	MaxErrors int `json:"max_errors"`
+	// Trials is the number of injections per point (default 10000; the
+	// paper uses 100000).
+	Trials int `json:"trials"`
+	// Seed drives the injections (default 1).
+	Seed uint64 `json:"seed"`
+}
+
+func (p *FailureProbabilityParams) normalize() error {
+	if p.Scheme == "" {
+		p.Scheme = "ecp"
+	}
+	if _, err := experiments.Fig9Scheme(p.Scheme); err != nil {
+		return err
+	}
+	if p.Window == 0 {
+		p.Window = 32
+	}
+	if p.Window < 1 || p.Window > block.Size {
+		return fmt.Errorf("window %dB out of [1,%d]", p.Window, block.Size)
+	}
+	if p.MaxErrors == 0 {
+		p.MaxErrors = 64
+	}
+	if p.MaxErrors < 1 || p.MaxErrors > block.Bits {
+		return fmt.Errorf("max_errors %d out of [1,%d]", p.MaxErrors, block.Bits)
+	}
+	if p.Trials == 0 {
+		p.Trials = 10_000
+	}
+	if p.Trials < 1 || p.Trials > maxTrials {
+		return fmt.Errorf("trials %d out of [1,%d]", p.Trials, maxTrials)
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return nil
+}
+
+// FailureProbabilityResult is the result payload of a failure-probability
+// job: Curve[i] is P(line unusable) at i+1 injected errors.
+type FailureProbabilityResult struct {
+	Scheme          string    `json:"scheme"`
+	Window          int       `json:"window"`
+	Trials          int       `json:"trials"`
+	Curve           []float64 `json:"curve"`
+	TolerableAtHalf int       `json:"tolerable_at_half"`
+}
+
+func (p *FailureProbabilityParams) run(ctx context.Context) (any, error) {
+	scheme, err := experiments.Fig9Scheme(p.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	curve, err := montecarlo.CurveContext(ctx, scheme, p.Window, p.MaxErrors, p.Trials, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return FailureProbabilityResult{
+		Scheme: scheme.Name(), Window: p.Window, Trials: p.Trials,
+		Curve: curve, TolerableAtHalf: montecarlo.TolerableAt(curve, 0.5),
+	}, nil
+}
+
+// --- compression jobs ---
+
+// CompressionParams parameterize POST /v1/jobs/compression: the Fig 3
+// compressed-size sweep (BDI vs FPC vs BEST) over a set of applications.
+type CompressionParams struct {
+	// Apps lists workloads to sweep (default: the paper's figure order).
+	Apps []string `json:"apps"`
+	// Scale picks trace dimensions (lines and events per app; default
+	// "quick").
+	Scale string `json:"scale"`
+	// Seed drives trace generation (default 1).
+	Seed uint64 `json:"seed"`
+}
+
+func (p *CompressionParams) normalize() error {
+	if len(p.Apps) == 0 {
+		p.Apps = append([]string(nil), experiments.FigureOrder...)
+	}
+	for _, app := range p.Apps {
+		if _, err := workload.ByName(app); err != nil {
+			return err
+		}
+	}
+	if p.Scale == "" {
+		p.Scale = config.ScaleQuick.Name
+	}
+	if _, err := config.ByName(p.Scale); err != nil {
+		return err
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return nil
+}
+
+// CompressionAppResult is one application's row of a compression job.
+type CompressionAppResult struct {
+	App       string  `json:"app"`
+	BDIBytes  float64 `json:"bdi_bytes"`
+	FPCBytes  float64 `json:"fpc_bytes"`
+	BestBytes float64 `json:"best_bytes"`
+	BestRatio float64 `json:"best_ratio"`
+}
+
+// CompressionResult is the result payload of a compression job.
+type CompressionResult struct {
+	Scale   string                 `json:"scale"`
+	Seed    uint64                 `json:"seed"`
+	Apps    []CompressionAppResult `json:"apps"`
+	Average CompressionAppResult   `json:"average"`
+}
+
+func (p *CompressionParams) run(ctx context.Context) (any, error) {
+	scale, err := config.ByName(p.Scale)
+	if err != nil {
+		return nil, err
+	}
+	out := CompressionResult{Scale: p.Scale, Seed: p.Seed}
+	for _, app := range p.Apps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		prof, err := workload.ByName(app)
+		if err != nil {
+			return nil, err
+		}
+		g, err := workload.NewGenerator(prof, scale.TraceLines, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		var bdi, fpc, best, ratio stats.Running
+		for i := 0; i < scale.TraceEvents; i++ {
+			ev := g.Next()
+			bdi.Add(float64(compress.CompressBDI(&ev.Data).Size()))
+			fpc.Add(float64(compress.CompressFPC(&ev.Data).Size()))
+			r := compress.Compress(&ev.Data)
+			best.Add(float64(r.Size()))
+			ratio.Add(r.Ratio())
+		}
+		out.Apps = append(out.Apps, CompressionAppResult{
+			App: app, BDIBytes: bdi.Mean(), FPCBytes: fpc.Mean(),
+			BestBytes: best.Mean(), BestRatio: ratio.Mean(),
+		})
+	}
+	n := float64(len(out.Apps))
+	for _, r := range out.Apps {
+		out.Average.BDIBytes += r.BDIBytes / n
+		out.Average.FPCBytes += r.FPCBytes / n
+		out.Average.BestBytes += r.BestBytes / n
+		out.Average.BestRatio += r.BestRatio / n
+	}
+	out.Average.App = "average"
+	return out, nil
+}

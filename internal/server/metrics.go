@@ -1,0 +1,133 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the per-job-kind histogram upper bounds in seconds.
+// Quick-scale jobs land in the sub-second buckets; default- and
+// large-scale sweeps span the minute range.
+var latencyBuckets = []float64{0.01, 0.1, 0.5, 1, 5, 30, 120, 600}
+
+// histogram is a fixed-bucket latency histogram (cumulative on render,
+// per-bucket in memory; counts[len(latencyBuckets)] is +Inf). Guarded by
+// the owning metrics mutex.
+type histogram struct {
+	counts []uint64
+	sum    float64
+	n      uint64
+}
+
+func (h *histogram) observe(seconds float64) {
+	if h.counts == nil {
+		h.counts = make([]uint64, len(latencyBuckets)+1)
+	}
+	i := sort.SearchFloat64s(latencyBuckets, seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.n++
+}
+
+// metrics aggregates the service's observability counters, rendered in
+// Prometheus text exposition format by WriteTo.
+type metrics struct {
+	mu          sync.Mutex
+	queued      int64 // gauge: accepted, not yet started
+	running     int64 // gauge: currently executing
+	done        map[Kind]uint64
+	failed      map[Kind]uint64
+	cacheHits   uint64
+	cacheMisses uint64
+	latency     map[Kind]*histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		done:    make(map[Kind]uint64),
+		failed:  make(map[Kind]uint64),
+		latency: make(map[Kind]*histogram),
+	}
+}
+
+func (m *metrics) jobQueued() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queued++
+	m.cacheMisses++
+}
+
+func (m *metrics) jobStarted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queued--
+	m.running++
+}
+
+func (m *metrics) jobFinished(kind Kind, ok bool, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.running--
+	if ok {
+		m.done[kind]++
+	} else {
+		m.failed[kind]++
+	}
+	h := m.latency[kind]
+	if h == nil {
+		h = &histogram{}
+		m.latency[kind] = h
+	}
+	h.observe(elapsed.Seconds())
+}
+
+func (m *metrics) cacheHit() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cacheHits++
+}
+
+// snapshotCacheHits returns the hit counter (used by tests).
+func (m *metrics) snapshotCacheHits() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cacheHits
+}
+
+// WriteTo renders the Prometheus text format. Kinds are emitted in the
+// fixed Kinds order so the output is stable for scrapers and tests.
+func (m *metrics) WriteTo(w io.Writer, cacheLen int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fmt.Fprintf(w, "# TYPE pcmd_jobs_queued gauge\npcmd_jobs_queued %d\n", m.queued)
+	fmt.Fprintf(w, "# TYPE pcmd_jobs_running gauge\npcmd_jobs_running %d\n", m.running)
+	fmt.Fprintf(w, "# TYPE pcmd_jobs_done_total counter\n")
+	for _, k := range Kinds {
+		fmt.Fprintf(w, "pcmd_jobs_done_total{kind=%q} %d\n", k, m.done[k])
+	}
+	fmt.Fprintf(w, "# TYPE pcmd_jobs_failed_total counter\n")
+	for _, k := range Kinds {
+		fmt.Fprintf(w, "pcmd_jobs_failed_total{kind=%q} %d\n", k, m.failed[k])
+	}
+	fmt.Fprintf(w, "# TYPE pcmd_cache_hits_total counter\npcmd_cache_hits_total %d\n", m.cacheHits)
+	fmt.Fprintf(w, "# TYPE pcmd_cache_misses_total counter\npcmd_cache_misses_total %d\n", m.cacheMisses)
+	fmt.Fprintf(w, "# TYPE pcmd_cache_entries gauge\npcmd_cache_entries %d\n", cacheLen)
+	fmt.Fprintf(w, "# TYPE pcmd_job_seconds histogram\n")
+	for _, k := range Kinds {
+		h := m.latency[k]
+		if h == nil {
+			continue
+		}
+		var cum uint64
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "pcmd_job_seconds_bucket{kind=%q,le=%q} %d\n", k, fmt.Sprintf("%g", ub), cum)
+		}
+		fmt.Fprintf(w, "pcmd_job_seconds_bucket{kind=%q,le=\"+Inf\"} %d\n", k, h.n)
+		fmt.Fprintf(w, "pcmd_job_seconds_sum{kind=%q} %g\n", k, h.sum)
+		fmt.Fprintf(w, "pcmd_job_seconds_count{kind=%q} %d\n", k, h.n)
+	}
+}

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"pcmcomp/internal/parallel"
+)
+
+// pool is the bounded worker pool that executes jobs: a fixed number of
+// workers drain a bounded queue, so at most `workers` simulations run at
+// once and at most `depth` wait. Submission is non-blocking — a full queue
+// is the client's signal to back off (the server turns it into a 503).
+type pool struct {
+	mu     sync.Mutex
+	queue  chan *Job
+	closed bool
+	done   chan struct{}
+}
+
+// newPool starts `workers` workers executing exec off a queue of the given
+// depth. The workers are spawned through parallel.ForEach — the same
+// bounded-concurrency primitive the experiment drivers use — and exit when
+// the queue is closed.
+func newPool(workers, depth int, exec func(*Job)) *pool {
+	p := &pool{
+		queue: make(chan *Job, depth),
+		done:  make(chan struct{}),
+	}
+	go func() {
+		defer close(p.done)
+		// Each of the `workers` slots runs a drain loop until Close; the
+		// exec callback never returns an error, so ForEach always nils.
+		_ = parallel.ForEach(workers, workers, func(int) error {
+			for j := range p.queue {
+				exec(j)
+			}
+			return nil
+		})
+	}()
+	return p
+}
+
+// Submit enqueues a job without blocking. It reports false when the queue
+// is full or the pool is closed.
+func (p *pool) Submit(j *Job) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.queue <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close stops admission; queued jobs still run. Idempotent.
+func (p *pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+}
+
+// Wait blocks until every worker has exited (all queued jobs drained) or
+// the context expires, and reports which happened.
+func (p *pool) Wait(ctx context.Context) error {
+	select {
+	case <-p.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

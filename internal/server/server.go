@@ -1,0 +1,297 @@
+// Package server implements pcmd, the HTTP/JSON simulation service: the
+// repository's three expensive computations (trace-driven lifetime runs,
+// Fig 9 Monte-Carlo failure-probability curves, compression sweeps) exposed
+// as asynchronous jobs on a bounded worker pool, with a content-addressed
+// LRU result cache so identical sweeps are answered instantly.
+//
+// Endpoints:
+//
+//	POST /v1/jobs/lifetime             submit a lifetime job
+//	POST /v1/jobs/failure-probability  submit a Fig 9 Monte-Carlo job
+//	POST /v1/jobs/compression          submit a compression sweep job
+//	GET  /v1/jobs/{id}                 poll a job's status and result
+//	GET  /v1/jobs                      list job summaries
+//	GET  /v1/workloads                 list the Table III workload models
+//	GET  /v1/schemes                   list the hard-error schemes
+//	GET  /healthz                      liveness (503 while draining)
+//	GET  /metrics                      Prometheus text metrics
+//
+// Jobs are validated against internal/config scales, hashed (SHA-256 of
+// kind + canonical JSON of the normalized parameters + seed) into the
+// cache, and executed with a per-job context deadline. Shutdown drains:
+// admission stops with 503s while queued and running jobs finish.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"time"
+
+	"pcmcomp/internal/workload"
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// Workers bounds concurrent simulations (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds waiting jobs; a full queue rejects submissions
+	// with 503 (default 64).
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 256; 0 keeps the
+	// default, negative disables caching).
+	CacheEntries int
+	// JobTimeout is the per-job execution deadline (default 15 minutes).
+	JobTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 15 * time.Minute
+	}
+	return c
+}
+
+// Server is the pcmd service: an http.Handler plus the pool, store, cache
+// and metrics behind it. Create with New, serve with any http.Server, stop
+// with Shutdown.
+type Server struct {
+	cfg        Config
+	store      *store
+	cache      *resultCache
+	metrics    *metrics
+	pool       *pool
+	mux        *http.ServeMux
+	jobCtx     context.Context
+	cancelJobs context.CancelFunc
+	drain      chan struct{} // closed when draining begins
+}
+
+// New builds the service and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		store:   newStore(),
+		cache:   newResultCache(cfg.CacheEntries),
+		metrics: newMetrics(),
+		drain:   make(chan struct{}),
+	}
+	s.jobCtx, s.cancelJobs = context.WithCancel(context.Background())
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.execute)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs/lifetime", s.submitHandler(KindLifetime,
+		func() params { return &LifetimeParams{} }))
+	mux.HandleFunc("POST /v1/jobs/failure-probability", s.submitHandler(KindFailureProbability,
+		func() params { return &FailureProbabilityParams{} }))
+	mux.HandleFunc("POST /v1/jobs/compression", s.submitHandler(KindCompression,
+		func() params { return &CompressionParams{} }))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP dispatches to the service mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// draining reports whether Shutdown has begun.
+func (s *Server) draining() bool {
+	select {
+	case <-s.drain:
+		return true
+	default:
+		return false
+	}
+}
+
+// Shutdown drains the service: new submissions are rejected with 503,
+// queued and running jobs finish, and the call returns once the pool is
+// idle. If the context expires first, running jobs are cancelled through
+// their contexts and Shutdown waits for them to unwind before returning
+// the context's error. Idempotent is not required — call once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	close(s.drain)
+	s.pool.Close()
+	if err := s.pool.Wait(ctx); err != nil {
+		s.cancelJobs()
+		_ = s.pool.Wait(context.Background())
+		return err
+	}
+	return nil
+}
+
+// execute runs one job on a pool worker under the per-job deadline.
+func (s *Server) execute(j *Job) {
+	start := time.Now()
+	s.store.setRunning(j, start)
+	s.metrics.jobStarted()
+	ctx, cancel := context.WithTimeout(s.jobCtx, s.cfg.JobTimeout)
+	defer cancel()
+
+	result, err := j.run.run(ctx)
+	finished := time.Now()
+	var buf json.RawMessage
+	if err == nil {
+		buf, err = json.Marshal(result)
+	}
+	if err != nil {
+		s.store.setFailed(j, err, finished)
+		s.metrics.jobFinished(j.Kind, false, finished.Sub(start))
+		return
+	}
+	s.cache.Put(j.CacheKey, buf)
+	s.store.setDone(j, buf, finished)
+	s.metrics.jobFinished(j.Kind, true, finished.Sub(start))
+}
+
+// submitHandler builds the POST handler for one job kind.
+func (s *Server) submitHandler(kind Kind, newParams func() params) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining() {
+			writeError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		p := newParams()
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(p); err != nil && !errors.Is(err, io.EOF) {
+			writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+			return
+		}
+		if err := p.normalize(); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		key, err := cacheKey(kind, p)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		now := time.Now()
+		j := s.store.add(kind, p, key, now)
+		if cached, ok := s.cache.Get(key); ok {
+			s.store.finishCached(j, cached, now)
+			s.metrics.cacheHit()
+			snap, _ := s.store.get(j.ID)
+			writeJSON(w, http.StatusOK, snap)
+			return
+		}
+		if !s.pool.Submit(j) {
+			s.store.setFailed(j, errors.New("job queue full"), now)
+			writeError(w, http.StatusServiceUnavailable, "job queue full, retry later")
+			return
+		}
+		s.metrics.jobQueued()
+		snap, _ := s.store.get(j.ID)
+		writeJSON(w, http.StatusAccepted, snap)
+	}
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+// jobSummary is the list view of a job (no params or result payload).
+type jobSummary struct {
+	ID       string     `json:"id"`
+	Kind     Kind       `json:"kind"`
+	State    State      `json:"state"`
+	CacheHit bool       `json:"cache_hit"`
+	Created  time.Time  `json:"created"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Error    string     `json:"error,omitempty"`
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.store.list()
+	out := make([]jobSummary, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, jobSummary{
+			ID: j.ID, Kind: j.Kind, State: j.State, CacheHit: j.CacheHit,
+			Created: j.Created, Finished: j.Finished, Error: j.Error,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	type wl struct {
+		Name  string  `json:"name"`
+		WPKI  float64 `json:"wpki"`
+		CR    float64 `json:"cr"`
+		Class string  `json:"class"`
+	}
+	profiles := workload.Profiles()
+	out := make([]wl, 0, len(profiles))
+	for _, p := range profiles {
+		out = append(out, wl{Name: p.Name, WPKI: p.WPKI, CR: p.CR, Class: p.Class.String()})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"workloads": out})
+}
+
+func (s *Server) handleSchemes(w http.ResponseWriter, _ *http.Request) {
+	type scheme struct {
+		Name        string `json:"name"`
+		FullName    string `json:"full_name"`
+		Description string `json:"description"`
+		MonteCarlo  bool   `json:"monte_carlo"`
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"schemes": []scheme{
+		{"ecp", "ECP-6", "error-correcting pointers, 6 per 512-bit line (paper baseline)", true},
+		{"safer", "SAFER-32", "dynamic partitioning into 32 groups with inversion", true},
+		{"aegis", "Aegis-17x31", "17x31 grid-based group formation", true},
+		{"secded", "SECDED-72/64", "(72,64) Hsiao code the paper argues against (§II-C)", false},
+	}})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteTo(w, s.cache.Len())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing to do but note it on the connection.
+		fmt.Fprintf(w, `{"error":%q}`, err.Error())
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
