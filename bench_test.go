@@ -1,202 +1,47 @@
 package pcmcomp
 
-// One benchmark per table and figure of the paper's evaluation (DESIGN.md
-// §4 maps each to its experiment). Every benchmark regenerates its
-// table/figure once per iteration at the quick scale; run with
+// One benchmark per table and figure of the paper's evaluation, plus the
+// hot-path microbenchmarks. The bodies live in internal/benchmarks so that
+// cmd/bench can run the same registry programmatically and emit
+// BENCH_pipeline.json; these wrappers expose them to `go test -bench`.
+// Every figure/table benchmark regenerates its table once per iteration at
+// the quick scale; run with
 //
 //	go test -bench=. -benchmem
 //
 // and use cmd/figures -scale default for the EXPERIMENTS.md reporting runs.
 
 import (
-	"fmt"
 	"testing"
 
-	"pcmcomp/internal/config"
-	"pcmcomp/internal/experiments"
+	"pcmcomp/internal/benchmarks"
 )
 
-func quickOpts() experiments.LifetimeOptions {
-	return experiments.LifetimeOptions{Scale: config.ScaleQuick, Seed: 1}
-}
+// BenchmarkWriteHot measures one steady-state Comp+WF Controller.Write.
+// It must report 0 allocs/op (guarded by TestWriteHotAllocs in
+// internal/core and tracked in BENCH_pipeline.json).
+func BenchmarkWriteHot(b *testing.B) { benchmarks.WriteHot(b) }
 
-// logOnce prints the regenerated table on the first iteration (visible
-// with -v), so the bench harness reproduces the paper's rows verbatim.
-func logOnce(b *testing.B, i int, s fmt.Stringer) {
-	if i == 0 {
-		b.Log("\n" + s.String())
-	}
-}
+// BenchmarkCompressSelect measures the BEST-of compression decision for
+// one 64-byte write-back.
+func BenchmarkCompressSelect(b *testing.B) { benchmarks.CompressSelect(b) }
 
-// BenchmarkFig1DWBitFlips regenerates Figure 1 (random bit-flip pattern of
-// consecutive DW writes to one hot gobmk block).
-func BenchmarkFig1DWBitFlips(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig1BitFlips("gobmk", 64, 20000, 128, 1); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// BenchmarkMonteCarloCurve measures one ECP-6 failure-probability sweep of
+// the Monte-Carlo fault-injection loop.
+func BenchmarkMonteCarloCurve(b *testing.B) { benchmarks.MonteCarloCurve(b) }
 
-// BenchmarkFig3CompressedSize regenerates Figure 3 (average compressed
-// size per app for BDI/FPC/BEST).
-func BenchmarkFig3CompressedSize(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		tb, err := experiments.Fig3CompressedSizes(128, 2000, 1)
-		if err != nil {
-			b.Fatal(err)
-		}
-		logOnce(b, i, tb)
-	}
-}
-
-// BenchmarkFig5FlipDelta regenerates Figure 5 (share of write-backs with
-// increased/untouched/decreased flips after compression).
-func BenchmarkFig5FlipDelta(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		tb, err := experiments.Fig5FlipDelta(64, 3000, 1)
-		if err != nil {
-			b.Fatal(err)
-		}
-		logOnce(b, i, tb)
-	}
-}
-
-// BenchmarkFig6SizeChange regenerates Figure 6 (probability that
-// consecutive writes to a block change compressed size).
-func BenchmarkFig6SizeChange(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		tb, err := experiments.Fig6SizeChange(64, 4000, 1)
-		if err != nil {
-			b.Fatal(err)
-		}
-		logOnce(b, i, tb)
-	}
-}
-
-// BenchmarkFig7SizeSeries regenerates Figure 7 (compressed-size time
-// series of representative bzip2/hmmer blocks).
-func BenchmarkFig7SizeSeries(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		for _, app := range []string{"bzip2", "hmmer"} {
-			if _, err := experiments.Fig7SizeSeries(app, 64, 20000, 3, 40, 1); err != nil {
-				b.Fatal(err)
-			}
-		}
-	}
-}
-
-// BenchmarkFig9MonteCarlo regenerates one Figure 9 panel (ECP-6 failure
-// probability curves across window sizes).
-func BenchmarkFig9MonteCarlo(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig9Failure("ecp", 64, 200, 1); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkFig9Tolerance regenerates the Figure 9 cross-scheme summary
-// (tolerable faults at p=0.5 for a 32B window).
-func BenchmarkFig9Tolerance(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		tb, err := experiments.Fig9Tolerance(55, 100, 1)
-		if err != nil {
-			b.Fatal(err)
-		}
-		logOnce(b, i, tb)
-	}
-}
-
-// BenchmarkFig10Lifetime regenerates Figure 10 (normalized lifetimes of
-// Comp/Comp+W/Comp+WF across all 15 apps).
-func BenchmarkFig10Lifetime(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		tb, err := experiments.Fig10Lifetimes(quickOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		logOnce(b, i, tb)
-	}
-}
-
-// BenchmarkFig11MaxSizeCDF regenerates Figure 11 (per-address max
-// compressed-size CDFs for gcc and milc).
-func BenchmarkFig11MaxSizeCDF(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		for _, app := range []string{"gcc", "milc"} {
-			if _, err := experiments.Fig11MaxSizeCDF(app, 256, 20000, 1); err != nil {
-				b.Fatal(err)
-			}
-		}
-	}
-}
-
-// BenchmarkFig12RecoveredCells regenerates Figure 12 (average faulty cells
-// in a failed line, Baseline vs Comp+WF).
-func BenchmarkFig12RecoveredCells(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		tb, err := experiments.Fig12RecoveredCells(quickOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		logOnce(b, i, tb)
-	}
-}
-
-// BenchmarkFig13HighVariation regenerates Figure 13 (Comp+WF lifetime at
-// CoV 0.25).
-func BenchmarkFig13HighVariation(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		tb, err := experiments.Fig13HighVariation(quickOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		logOnce(b, i, tb)
-	}
-}
-
-// BenchmarkTable3Workloads regenerates Table III (WPKI and measured CR per
-// workload).
-func BenchmarkTable3Workloads(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		tb, err := experiments.Table3(128, 2000, 1)
-		if err != nil {
-			b.Fatal(err)
-		}
-		logOnce(b, i, tb)
-	}
-}
-
-// BenchmarkTable4Months regenerates Table IV (projected months, Baseline
-// vs Comp+WF).
-func BenchmarkTable4Months(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		tb, err := experiments.Table4Months(quickOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		logOnce(b, i, tb)
-	}
-}
-
-// BenchmarkPerfOverhead regenerates the §V-B performance-overhead numbers.
-func BenchmarkPerfOverhead(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		tb, err := experiments.PerfOverhead(64, 1000, 4000, 1)
-		if err != nil {
-			b.Fatal(err)
-		}
-		logOnce(b, i, tb)
-	}
-}
-
-// BenchmarkUncorrectableErrors regenerates the abstract's uncorrectable-
-// error-reduction claim on milc.
-func BenchmarkUncorrectableErrors(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.UncorrectableReduction(quickOpts(), "milc", 100000); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkFig1DWBitFlips(b *testing.B)      { benchmarks.Fig1DWBitFlips(b) }
+func BenchmarkFig3CompressedSize(b *testing.B)  { benchmarks.Fig3CompressedSize(b) }
+func BenchmarkFig5FlipDelta(b *testing.B)       { benchmarks.Fig5FlipDelta(b) }
+func BenchmarkFig6SizeChange(b *testing.B)      { benchmarks.Fig6SizeChange(b) }
+func BenchmarkFig7SizeSeries(b *testing.B)      { benchmarks.Fig7SizeSeries(b) }
+func BenchmarkFig9MonteCarlo(b *testing.B)      { benchmarks.Fig9MonteCarlo(b) }
+func BenchmarkFig9Tolerance(b *testing.B)       { benchmarks.Fig9Tolerance(b) }
+func BenchmarkFig10Lifetime(b *testing.B)       { benchmarks.Fig10Lifetime(b) }
+func BenchmarkFig11MaxSizeCDF(b *testing.B)     { benchmarks.Fig11MaxSizeCDF(b) }
+func BenchmarkFig12RecoveredCells(b *testing.B) { benchmarks.Fig12RecoveredCells(b) }
+func BenchmarkFig13HighVariation(b *testing.B)  { benchmarks.Fig13HighVariation(b) }
+func BenchmarkTable3Workloads(b *testing.B)     { benchmarks.Table3Workloads(b) }
+func BenchmarkTable4Months(b *testing.B)        { benchmarks.Table4Months(b) }
+func BenchmarkPerfOverhead(b *testing.B)        { benchmarks.PerfOverhead(b) }
+func BenchmarkUncorrectableErrors(b *testing.B) { benchmarks.UncorrectableErrors(b) }

@@ -1,0 +1,227 @@
+// Command bench runs the repository's benchmark registry — the kernel
+// microbenchmarks plus one benchmark per paper figure/table — and emits a
+// machine-readable BENCH_pipeline.json with ns/op, B/op and allocs/op for
+// every entry.
+//
+// Usage:
+//
+//	bench [-quick] [-micro] [-benchtime D] [-bench REGEX] [-out FILE] [-check]
+//
+// The JSON embeds the pre-optimization baseline numbers for the
+// microbenchmarks (recorded before the allocation-free kernel rewrite, on
+// the same registry), so a run documents the speedup alongside the current
+// numbers. With -check, bench exits non-zero unless the tentpole
+// invariants hold: WriteHot must report zero allocations per op and be at
+// least 2x faster than the recorded baseline. CI runs `bench -quick
+// -check` as a smoke test and archives the JSON as a build artifact; see
+// EXPERIMENTS.md ("Benchmark pipeline") for interpreting the output.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"testing"
+	"time"
+
+	"pcmcomp/internal/benchmarks"
+)
+
+// testingInit registers the testing package's flags (benchtime, benchmem,
+// ...) on flag.CommandLine so flag.Set can drive testing.Benchmark.
+func testingInit() { testing.Init() }
+
+// runBenchmark measures one registry entry with the standard benchmark
+// machinery (respecting the configured test.benchtime).
+func runBenchmark(e benchmarks.Entry) testing.BenchmarkResult {
+	return testing.Benchmark(e.F)
+}
+
+// baselineEntry is a recorded pre-rewrite measurement.
+type baselineEntry struct {
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+}
+
+// preRewriteBaseline holds the microbenchmark numbers measured on this
+// registry immediately before the zero-allocation kernel rewrite
+// (go test -bench -benchmem, Intel Xeon @ 2.10GHz, go1.x linux/amd64).
+// They are the fixed reference the -check regression gate compares against.
+var preRewriteBaseline = map[string]baselineEntry{
+	"WriteHot":        {NsPerOp: 1776, BytesPerOp: 169, AllocsPerOp: 5},
+	"CompressSelect":  {NsPerOp: 386, BytesPerOp: 168, AllocsPerOp: 5},
+	"MonteCarloCurve": {NsPerOp: 1.48e6, BytesPerOp: 2400, AllocsPerOp: 41},
+}
+
+type result struct {
+	Name        string  `json:"name"`
+	Micro       bool    `json:"micro"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	// SpeedupVsBaseline is baseline ns/op divided by current ns/op, for
+	// entries with a recorded baseline (0 otherwise).
+	SpeedupVsBaseline float64 `json:"speedupVsBaseline,omitempty"`
+}
+
+type report struct {
+	Generated  string                   `json:"generated"`
+	GoVersion  string                   `json:"goVersion"`
+	GOOS       string                   `json:"goos"`
+	GOARCH     string                   `json:"goarch"`
+	NumCPU     int                      `json:"numCPU"`
+	Benchtime  string                   `json:"benchtime"`
+	Baseline   map[string]baselineEntry `json:"baseline"`
+	Results    []result                 `json:"results"`
+	ChecksRun  bool                     `json:"checksRun"`
+	ChecksPass bool                     `json:"checksPass"`
+	Checks     []string                 `json:"checks,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "CI smoke mode: 100ms per benchmark")
+	micro := fs.Bool("micro", false, "run only the kernel microbenchmarks")
+	benchtime := fs.String("benchtime", "", "per-benchmark measuring time (overrides -quick)")
+	pattern := fs.String("bench", "", "regexp selecting benchmarks by name (default all)")
+	out := fs.String("out", "BENCH_pipeline.json", "output JSON path")
+	check := fs.Bool("check", false, "fail unless WriteHot is alloc-free and >= 2x the recorded baseline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	bt := "1s"
+	if *quick {
+		bt = "100ms"
+	}
+	if *benchtime != "" {
+		bt = *benchtime
+	}
+	// testing.Benchmark ignores -test.benchtime unless the testing flags
+	// are registered and set; Init + Set is the supported way to drive it
+	// programmatically.
+	testingInit()
+	if err := flag.Set("test.benchtime", bt); err != nil {
+		return err
+	}
+
+	var re *regexp.Regexp
+	if *pattern != "" {
+		var err error
+		if re, err = regexp.Compile(*pattern); err != nil {
+			return fmt.Errorf("bad -bench regexp: %w", err)
+		}
+	}
+
+	rep := report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Benchtime: bt,
+		Baseline:  preRewriteBaseline,
+	}
+
+	for _, e := range benchmarks.All() {
+		if *micro && !e.Micro {
+			continue
+		}
+		if re != nil && !re.MatchString(e.Name) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %-20s ", e.Name)
+		br := runBenchmark(e)
+		r := result{
+			Name:        e.Name,
+			Micro:       e.Micro,
+			Iterations:  br.N,
+			NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+			AllocsPerOp: br.AllocsPerOp(),
+		}
+		if base, ok := preRewriteBaseline[e.Name]; ok && r.NsPerOp > 0 {
+			r.SpeedupVsBaseline = base.NsPerOp / r.NsPerOp
+		}
+		fmt.Fprintf(os.Stderr, "%12.1f ns/op %8d B/op %6d allocs/op\n",
+			r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		rep.Results = append(rep.Results, r)
+	}
+	if len(rep.Results) == 0 {
+		return fmt.Errorf("no benchmarks matched")
+	}
+
+	if *check {
+		rep.ChecksRun = true
+		rep.ChecksPass = true
+		for _, msg := range runChecks(rep.Results) {
+			rep.Checks = append(rep.Checks, msg.text)
+			if !msg.ok {
+				rep.ChecksPass = false
+			}
+			fmt.Fprintln(os.Stderr, msg.text)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(rep.Results))
+
+	if *check && !rep.ChecksPass {
+		return fmt.Errorf("regression checks failed")
+	}
+	return nil
+}
+
+type checkMsg struct {
+	ok   bool
+	text string
+}
+
+// runChecks enforces the tentpole invariants on the WriteHot kernel.
+func runChecks(results []result) []checkMsg {
+	var msgs []checkMsg
+	var hot *result
+	for i := range results {
+		if results[i].Name == "WriteHot" {
+			hot = &results[i]
+		}
+	}
+	if hot == nil {
+		return []checkMsg{{false, "check FAIL: WriteHot not among results (run without -bench filters)"}}
+	}
+	if hot.AllocsPerOp == 0 {
+		msgs = append(msgs, checkMsg{true, "check ok: WriteHot allocs/op = 0"})
+	} else {
+		msgs = append(msgs, checkMsg{false, fmt.Sprintf(
+			"check FAIL: WriteHot allocs/op = %d, want 0", hot.AllocsPerOp)})
+	}
+	base := preRewriteBaseline["WriteHot"]
+	if hot.NsPerOp*2 <= base.NsPerOp {
+		msgs = append(msgs, checkMsg{true, fmt.Sprintf(
+			"check ok: WriteHot %.1f ns/op is %.2fx the %.0f ns/op baseline",
+			hot.NsPerOp, base.NsPerOp/hot.NsPerOp, base.NsPerOp)})
+	} else {
+		msgs = append(msgs, checkMsg{false, fmt.Sprintf(
+			"check FAIL: WriteHot %.1f ns/op, need <= %.1f (2x over the %.0f ns/op baseline)",
+			hot.NsPerOp, base.NsPerOp/2, base.NsPerOp)})
+	}
+	return msgs
+}

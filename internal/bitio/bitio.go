@@ -10,6 +10,17 @@ type Writer struct {
 	nCur int
 }
 
+// Reset prepares the writer to append a stream to buf, letting hot paths
+// reuse one allocation across encodes (pass buf[:0] to reuse buf's backing
+// array for a fresh stream, or nil to keep the writer self-allocating).
+// BitLen counts from the start of buf, so pass an empty slice when exact
+// bit accounting matters.
+func (w *Writer) Reset(buf []byte) {
+	w.out = buf
+	w.cur = 0
+	w.nCur = 0
+}
+
 // Write appends the low n bits of v (MSB first). n must be in [0, 56].
 func (w *Writer) Write(v uint64, n int) {
 	w.cur = w.cur<<uint(n) | v&(1<<uint(n)-1)
@@ -41,6 +52,14 @@ type Reader struct {
 
 // NewReader wraps data for reading.
 func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Reset points the reader at a new stream from bit position 0. It lets
+// decoders keep a Reader as a value on the stack instead of allocating one
+// per decode.
+func (r *Reader) Reset(data []byte) {
+	r.data = data
+	r.pos = 0
+}
 
 // Read extracts the next n bits; ok is false if the stream is exhausted.
 func (r *Reader) Read(n int) (v uint64, ok bool) {

@@ -115,36 +115,58 @@ var baseDeltas = []struct {
 // (Table I of the DSN'17 paper).
 const DecompressionCycles = 1
 
-// Compress compresses a 64-byte line. It returns the chosen encoding and the
-// compressed payload (nil for EncZeros' implicit zero and for
-// EncUncompressed, where the payload is the original line itself).
-// The returned slice is freshly allocated and safe to retain.
-func Compress(b *block.Block) (Encoding, []byte) {
+// Analyze returns the encoding Compress would choose for the line without
+// materializing any output. It is the hardware's candidate race: all
+// geometries are size-checked and the smallest fitting one wins.
+func Analyze(b *block.Block) Encoding {
 	if isZero(b) {
-		return EncZeros, []byte{0}
+		return EncZeros
 	}
-	if v, ok := repeated8(b); ok {
-		out := make([]byte, 8)
-		binary.LittleEndian.PutUint64(out, v)
-		return EncRepeat, out
+	if _, ok := repeated8(b); ok {
+		return EncRepeat
 	}
 	best := EncUncompressed
-	var bestOut []byte
 	for _, bd := range baseDeltas {
 		if bd.enc.CompressedSize() >= best.CompressedSize() {
 			continue
 		}
-		if out, ok := tryBaseDelta(b, bd.baseBytes, bd.deltaBytes); ok {
+		if fitsBaseDelta(b, bd.baseBytes, bd.deltaBytes) {
 			best = bd.enc
-			bestOut = out
 		}
 	}
-	if best == EncUncompressed {
-		out := make([]byte, block.Size)
-		copy(out, b[:])
-		return EncUncompressed, out
+	return best
+}
+
+// AppendCompress appends the payload of the line under the given encoding
+// (as returned by Analyze) to dst and returns the extended slice. It is the
+// allocation-free half of Compress: when dst has capacity, no heap
+// allocation occurs.
+func AppendCompress(dst []byte, b *block.Block, enc Encoding) []byte {
+	switch enc {
+	case EncZeros:
+		return append(dst, 0)
+	case EncRepeat:
+		v := b.Word(0)
+		return append(dst,
+			byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	case EncUncompressed:
+		return append(dst, b[:]...)
 	}
-	return best, bestOut
+	for _, bd := range baseDeltas {
+		if bd.enc == enc {
+			return appendBaseDelta(dst, b, bd.baseBytes, bd.deltaBytes)
+		}
+	}
+	panic(fmt.Sprintf("bdi: AppendCompress with unknown encoding %d", uint8(enc)))
+}
+
+// Compress compresses a 64-byte line. It returns the chosen encoding and the
+// compressed payload (the original line bytes for EncUncompressed).
+// The returned slice is freshly allocated and safe to retain.
+func Compress(b *block.Block) (Encoding, []byte) {
+	enc := Analyze(b)
+	return enc, AppendCompress(nil, b, enc)
 }
 
 // Decompress reconstructs the original 64-byte line from an encoding and its
@@ -227,34 +249,55 @@ func fitsSigned(d int64, deltaBytes int) bool {
 	}
 }
 
-// tryBaseDelta attempts to encode the line with the given base/delta widths.
-// Layout: base (little-endian, baseBytes) followed by one delta per segment
-// (little-endian two's complement, deltaBytes), including the base segment
-// itself (whose delta is zero), matching the canonical BDI output sizes.
-func tryBaseDelta(b *block.Block, baseBytes, deltaBytes int) ([]byte, bool) {
+// segmentDelta returns the i-th segment's delta from the base, taken modulo
+// the base width (two's complement), matching the hardware subtractor;
+// decode wraps the same way, so round-trips are exact even when the
+// difference crosses the signed boundary.
+func segmentDelta(b *block.Block, i, baseBytes int, base uint64) int64 {
+	switch baseBytes {
+	case 8:
+		return int64(segment(b, i, baseBytes) - base)
+	case 4:
+		return int64(int32(uint32(segment(b, i, baseBytes)) - uint32(base)))
+	default:
+		return int64(int16(uint16(segment(b, i, baseBytes)) - uint16(base)))
+	}
+}
+
+// fitsBaseDelta reports whether every segment's delta from the first
+// segment fits the given delta width. It is the analysis half of the
+// base-delta encoder and allocates nothing.
+func fitsBaseDelta(b *block.Block, baseBytes, deltaBytes int) bool {
 	n := block.Size / baseBytes
 	base := segment(b, 0, baseBytes)
-	out := make([]byte, baseBytes+n*deltaBytes)
-	putUint(out, base, baseBytes)
 	for i := 0; i < n; i++ {
-		// Deltas are taken modulo the base width (two's complement), matching
-		// the hardware subtractor; decode wraps the same way, so round-trips
-		// are exact even when the difference crosses the signed boundary.
-		var d int64
-		switch baseBytes {
-		case 8:
-			d = int64(segment(b, i, baseBytes) - base)
-		case 4:
-			d = int64(int32(uint32(segment(b, i, baseBytes)) - uint32(base)))
-		default:
-			d = int64(int16(uint16(segment(b, i, baseBytes)) - uint16(base)))
+		if !fitsSigned(segmentDelta(b, i, baseBytes, base), deltaBytes) {
+			return false
 		}
-		if !fitsSigned(d, deltaBytes) {
-			return nil, false
-		}
-		putUint(out[baseBytes+i*deltaBytes:], uint64(d), deltaBytes)
 	}
-	return out, true
+	return true
+}
+
+// appendBaseDelta appends the base-delta payload to dst. Layout: base
+// (little-endian, baseBytes) followed by one delta per segment
+// (little-endian two's complement, deltaBytes), including the base segment
+// itself (whose delta is zero), matching the canonical BDI output sizes.
+// The encoding must be known to fit (see fitsBaseDelta).
+func appendBaseDelta(dst []byte, b *block.Block, baseBytes, deltaBytes int) []byte {
+	n := block.Size / baseBytes
+	base := segment(b, 0, baseBytes)
+	dst = appendUint(dst, base, baseBytes)
+	for i := 0; i < n; i++ {
+		dst = appendUint(dst, uint64(segmentDelta(b, i, baseBytes, base)), deltaBytes)
+	}
+	return dst
+}
+
+func appendUint(dst []byte, v uint64, n int) []byte {
+	for i := 0; i < n; i++ {
+		dst = append(dst, byte(v>>(8*i)))
+	}
+	return dst
 }
 
 func decodeBaseDelta(out *block.Block, data []byte, baseBytes, deltaBytes int) {
@@ -272,12 +315,6 @@ func decodeBaseDelta(out *block.Block, data []byte, baseBytes, deltaBytes int) {
 		default:
 			binary.LittleEndian.PutUint16(out[off:], uint16(v))
 		}
-	}
-}
-
-func putUint(dst []byte, v uint64, n int) {
-	for i := 0; i < n; i++ {
-		dst[i] = byte(v >> (8 * i))
 	}
 }
 

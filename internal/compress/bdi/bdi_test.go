@@ -310,10 +310,10 @@ func tryRT(t *testing.T, b *block.Block, enc Encoding) bool {
 		if bd.enc != enc {
 			continue
 		}
-		data, ok := tryBaseDelta(b, bd.baseBytes, bd.deltaBytes)
-		if !ok {
+		if !fitsBaseDelta(b, bd.baseBytes, bd.deltaBytes) {
 			return false
 		}
+		data := appendBaseDelta(nil, b, bd.baseBytes, bd.deltaBytes)
 		out, err := Decompress(enc, data)
 		return err == nil && block.Equal(b, &out)
 	}

@@ -1,0 +1,72 @@
+package compress
+
+import (
+	"pcmcomp/internal/block"
+	"pcmcomp/internal/compress/bdi"
+	"pcmcomp/internal/compress/fpc"
+	"pcmcomp/internal/compress/fvc"
+)
+
+// Compressor is an allocation-free BEST-of compression front-end for hot
+// paths. It makes the same decisions as Selector (BDI + FPC, plus FVC when
+// a dictionary is attached) but runs in two phases — analyze candidate
+// sizes first, then materialize only the winner into a reusable scratch
+// buffer — so a steady-state Compress call performs zero heap allocations.
+//
+// A Compressor is not safe for concurrent use; give each controller its
+// own.
+type Compressor struct {
+	// FVC, when non-nil, adds frequent-value compression to the race.
+	FVC *fvc.Dict
+
+	buf []byte // payload scratch reused across calls
+}
+
+// Compress returns the smallest candidate encoding of the line, choosing
+// exactly as Selector.Compress does. The returned Result's Data aliases
+// the Compressor's scratch buffer and is only valid until the next call;
+// copy it to retain.
+func (c *Compressor) Compress(b *block.Block) Result {
+	if cap(c.buf) < block.Size {
+		c.buf = make([]byte, 0, block.Size)
+	}
+
+	// Phase 1: size race, no output materialized.
+	bdiEnc := bdi.Analyze(b)
+	bdiSize := bdiEnc.CompressedSize()
+	fpcSize := fpc.CompressedSize(b)
+
+	enc := EncUncompressed
+	bestSize := block.Size
+	switch {
+	case bdiSize < block.Size && bdiSize <= fpcSize:
+		enc, bestSize = fromBDI(bdiEnc), bdiSize
+	case fpcSize < block.Size:
+		enc, bestSize = EncFPC, fpcSize
+	}
+	if c.FVC != nil {
+		if size := c.FVC.CompressedSize(b); size < bestSize {
+			enc = EncFVC
+		}
+	}
+
+	// Phase 2: materialize only the winner into the scratch buffer.
+	switch {
+	case enc == EncUncompressed:
+		c.buf = append(c.buf[:0], b[:]...)
+	case enc == EncFPC:
+		c.buf = fpc.AppendCompress(c.buf[:0], b)
+	case enc == EncFVC:
+		c.buf = c.FVC.AppendCompress(c.buf[:0], b)
+	default:
+		c.buf = bdi.AppendCompress(c.buf[:0], b, bdiEnc)
+	}
+	return Result{Encoding: enc, Data: c.buf}
+}
+
+// Decompress reverses Compress, including FVC payloads when a dictionary
+// is attached. It is equivalent to Selector.Decompress.
+func (c *Compressor) Decompress(enc Encoding, data []byte) (block.Block, error) {
+	s := Selector{FVC: c.FVC}
+	return s.Decompress(enc, data)
+}

@@ -1,0 +1,93 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"pcmcomp/internal/block"
+	"pcmcomp/internal/compress/fvc"
+	"pcmcomp/internal/rng"
+)
+
+// randomMixLine builds a line mixing narrow and wide words, exercising the
+// full BDI/FPC/raw decision space.
+func randomMixLine(r *rng.Rand) block.Block {
+	var b block.Block
+	for w := 0; w < 8; w++ {
+		switch r.Intn(4) {
+		case 0:
+			b.SetWord(w, 0)
+		case 1:
+			b.SetWord(w, uint64(r.Intn(200)))
+		case 2:
+			b.SetWord(w, 0x1000_0000+uint64(r.Intn(64)))
+		default:
+			b.SetWord(w, r.Uint64())
+		}
+	}
+	return b
+}
+
+// TestCompressorMatchesSelector pins the two-phase scratch Compressor to
+// the reference Selector byte-for-byte, with and without an FVC
+// dictionary.
+func TestCompressorMatchesSelector(t *testing.T) {
+	dict, err := fvc.NewDict([]uint32{0xdead0001, 0xbeef4407, 0xcafe1993, 0xf00d7321})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		fvc  *fvc.Dict
+	}{
+		{"bdi+fpc", nil},
+		{"bdi+fpc+fvc", dict},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := Compressor{FVC: tc.fvc}
+			s := Selector{FVC: tc.fvc}
+			r := rng.New(77)
+			for i := 0; i < 500; i++ {
+				b := randomMixLine(r)
+				if tc.fvc != nil && r.Intn(3) == 0 {
+					// Salt in dictionary hits so the FVC arm runs.
+					for w := 0; w < 16; w += 2 {
+						binary.LittleEndian.PutUint32(b[w*4:], 0xdead0001)
+					}
+				}
+				got := c.Compress(&b)
+				want := s.Compress(&b)
+				if got.Encoding != want.Encoding || !bytes.Equal(got.Data, want.Data) {
+					t.Fatalf("line %d: compressor %v/%d diverged from selector %v/%d",
+						i, got.Encoding, got.Size(), want.Encoding, want.Size())
+				}
+				out, err := c.Decompress(got.Encoding, got.Data)
+				if err != nil || !block.Equal(&b, &out) {
+					t.Fatalf("line %d: round trip failed: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// TestCompressorZeroAllocs guards the tentpole invariant at its source:
+// a warmed Compressor never touches the heap, for any line kind.
+func TestCompressorZeroAllocs(t *testing.T) {
+	var c Compressor
+	r := rng.New(5)
+	lines := make([]block.Block, 32)
+	for i := range lines {
+		lines[i] = randomMixLine(r)
+	}
+	var b block.Block
+	c.Compress(&b) // warm the scratch buffer
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Compress(&lines[i%len(lines)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Compressor.Compress allocates %.1f times per call, want 0", allocs)
+	}
+}

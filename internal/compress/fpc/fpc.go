@@ -69,7 +69,15 @@ func CompressedSize(b *block.Block) int {
 // Compress encodes the line into a freshly allocated byte slice. The final
 // partial byte, if any, is zero-padded.
 func Compress(b *block.Block) []byte {
+	return AppendCompress(nil, b)
+}
+
+// AppendCompress appends the FPC bitstream for the line to dst and returns
+// the extended slice. When dst has enough spare capacity, no heap
+// allocation occurs.
+func AppendCompress(dst []byte, b *block.Block) []byte {
 	var w bitio.Writer
+	w.Reset(dst)
 	for i := 0; i < wordsPerLine; {
 		v := binary.LittleEndian.Uint32(b[i*4:])
 		if v == 0 {
@@ -95,7 +103,8 @@ func Compress(b *block.Block) []byte {
 // an error if the stream is truncated or decodes to the wrong word count.
 func Decompress(data []byte) (block.Block, error) {
 	var out block.Block
-	r := bitio.NewReader(data)
+	var r bitio.Reader
+	r.Reset(data)
 	i := 0
 	for i < wordsPerLine {
 		p, ok := r.Read(3)

@@ -115,7 +115,15 @@ func (d *Dict) CompressedSize(b *block.Block) int {
 
 // Compress encodes the line against the dictionary.
 func (d *Dict) Compress(b *block.Block) []byte {
+	return d.AppendCompress(nil, b)
+}
+
+// AppendCompress appends the FVC bitstream for the line to dst and returns
+// the extended slice. When dst has enough spare capacity, no heap
+// allocation occurs.
+func (d *Dict) AppendCompress(dst []byte, b *block.Block) []byte {
 	var w bitio.Writer
+	w.Reset(dst)
 	for i := 0; i < wordsPerLine; i++ {
 		v := binary.LittleEndian.Uint32(b[i*4:])
 		if idx, ok := d.index[v]; ok {
@@ -133,7 +141,8 @@ func (d *Dict) Compress(b *block.Block) []byte {
 // dictionary.
 func (d *Dict) Decompress(data []byte) (block.Block, error) {
 	var out block.Block
-	r := bitio.NewReader(data)
+	var r bitio.Reader
+	r.Reset(data)
 	for i := 0; i < wordsPerLine; i++ {
 		flag, ok := r.Read(1)
 		if !ok {

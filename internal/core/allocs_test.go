@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"pcmcomp/internal/pcm"
+	"pcmcomp/internal/workload"
+)
+
+// TestWriteHotAllocs guards the allocation-free write kernel: after
+// warmup (lines materialized, per-line payload buffers grown, compressor
+// scratch sized), a steady-state Comp+WF Controller.Write must never
+// touch the heap. It is the testing counterpart of BenchmarkWriteHot and
+// of cmd/bench's -check gate; the setup mirrors internal/benchmarks
+// deliberately, with endurance high enough that no cell dies mid-run
+// (NewFaults appends are the one permitted, fault-driven allocation).
+func TestWriteHotAllocs(t *testing.T) {
+	mem := pcm.Config{
+		Geometry: pcm.Geometry{
+			Channels: 1, DIMMsPerChannel: 1, RanksPerDIMM: 1,
+			BanksPerRank: 4, LinesPerBank: 33,
+		},
+		Endurance: pcm.Endurance{Mean: 1e9, CoV: 0.15},
+		Seed:      1,
+	}
+	ctrl, err := New(DefaultConfig(CompWF, mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(prof, ctrl.LogicalLines(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := gen.GenerateTrace(2048)
+	logical := ctrl.LogicalLines()
+	for i := range events {
+		ctrl.Write(events[i].Addr%logical, &events[i].Data)
+	}
+
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		ev := &events[i%len(events)]
+		ctrl.Write(ev.Addr%logical, &ev.Data)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Write allocates %.2f times per op, want 0", allocs)
+	}
+}

@@ -147,6 +147,9 @@ type Controller struct {
 	banks     []bankState
 	stats     Stats
 	deadCount int
+	// comp is the controller's reusable compression front-end; its scratch
+	// buffer keeps the steady-state write path allocation-free.
+	comp compress.Compressor
 }
 
 // New creates a controller. It returns an error for invalid configuration.

@@ -179,14 +179,18 @@ func (c *Controller) chooseRepresentation(meta *lineMeta, data *block.Block) ([]
 	if !c.cfg.System.usesCompression() {
 		return data[:], compress.EncUncompressed
 	}
-	res := compress.Compress(data)
+	// The Compressor's scratch-backed result is only valid until its next
+	// Compress call; writePhysical copies it into meta.payload before any
+	// other write can run, so no heap copy is needed here.
+	res := c.comp.Compress(data)
 	newSize := res.Size()
-	defer func() { meta.prevCompSize = uint8(newSize) }()
 
 	if !c.cfg.UseSCHeuristic {
+		meta.prevCompSize = uint8(newSize)
 		return res.Data, res.Encoding
 	}
 	if newSize < c.cfg.Threshold1 { // step 1: highly compressible
+		meta.prevCompSize = uint8(newSize)
 		return res.Data, res.Encoding
 	}
 	// Track size stability on every write: the LLC message channel
@@ -208,6 +212,7 @@ func (c *Controller) chooseRepresentation(meta *lineMeta, data *block.Block) ([]
 			meta.sc++
 		}
 	}
+	meta.prevCompSize = uint8(newSize)
 	if saturated { // step 2: size-unstable line, write raw
 		c.stats.HeuristicRawWrites++
 		return data[:], compress.EncUncompressed

@@ -17,6 +17,7 @@ package aegis
 import (
 	"fmt"
 
+	"pcmcomp/internal/block"
 	"pcmcomp/internal/ecc"
 )
 
@@ -94,7 +95,11 @@ func (s *Scheme) Correctable(faults *ecc.FaultSet, startByte, lengthBytes int) b
 		// never be separated.
 		return false
 	}
-	idx := faults.AppendIndicesInWindow(make([]int, 0, n), startByte, lengthBytes)
+	// Stack buffers keep every placement-trial call allocation-free; the
+	// geometry checks in New bound n by block.Bits, and the oversized-grid
+	// fallbacks below cover m or k beyond the line size.
+	var idxBuf [block.Bits]int
+	idx := faults.AppendIndicesInWindow(idxBuf[:0], startByte, lengthBytes)
 
 	// Deterministic guarantee: t faults spoil at most t(t-1)/2 of the m+1
 	// partitions.
@@ -102,13 +107,19 @@ func (s *Scheme) Correctable(faults *ecc.FaultSet, startByte, lengthBytes int) b
 		return true
 	}
 
-	xs := make([]int, n)
-	ys := make([]int, n)
+	var xsBuf, ysBuf [block.Bits]int
+	xs, ys := xsBuf[:n], ysBuf[:n]
 	for i, cell := range idx {
 		xs[i] = cell % s.k
 		ys[i] = cell % s.m
 	}
-	groups := make([]bool, s.m)
+	var groupsBuf [block.Bits]bool
+	groups := groupsBuf[:]
+	if s.m > len(groupsBuf) {
+		groups = make([]bool, s.m)
+	} else {
+		groups = groups[:s.m]
+	}
 
 	// Slope partitions.
 	for a := 0; a < s.m; a++ {
@@ -117,7 +128,13 @@ func (s *Scheme) Correctable(faults *ecc.FaultSet, startByte, lengthBytes int) b
 		}
 	}
 	// Row partition rho_inf: group = x.
-	rows := make([]bool, s.k)
+	var rowsBuf [block.Bits]bool
+	rows := rowsBuf[:]
+	if s.k > len(rowsBuf) {
+		rows = make([]bool, s.k)
+	} else {
+		rows = rows[:s.k]
+	}
 	ok := true
 	for _, x := range xs {
 		if rows[x] {

@@ -1,0 +1,72 @@
+package aegis
+
+import (
+	"testing"
+
+	"pcmcomp/internal/block"
+	"pcmcomp/internal/ecc"
+)
+
+// Native fuzzing for the Aegis group assignment. The CRT grid mapping and
+// the slope/row partition family must place every cell in exactly one
+// group of each partition (never double-counted, never out of range), so
+// Correctable must be deterministic, panic-free, monotone under fault
+// removal, and honor the deterministic t(t-1)/2 and pigeonhole bounds for
+// any fault bitmap.
+
+func fuzzFaults(w0, w1, w2, w3, w4, w5, w6, w7 uint64) *ecc.FaultSet {
+	var f ecc.FaultSet
+	f.SetWords([block.Bits / 64]uint64{w0, w1, w2, w3, w4, w5, w6, w7})
+	return &f
+}
+
+func FuzzAegisCorrectable(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint8(0), uint8(64))
+	f.Add(^uint64(0), uint64(0), ^uint64(0), uint64(0), uint64(255), uint64(0), uint64(0), uint64(0), uint8(32), uint8(48))
+	f.Add(uint64(0x0101010101010101), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0x8000000000000000), uint8(56), uint8(16))
+	f.Fuzz(func(t *testing.T, w0, w1, w2, w3, w4, w5, w6, w7 uint64, startRaw, lengthRaw uint8) {
+		start := int(startRaw) % block.Size
+		length := 1 + int(lengthRaw)%block.Size
+		faults := fuzzFaults(w0, w1, w2, w3, w4, w5, w6, w7)
+		s := MustNew(17, 31) // the paper's 17x31 grid
+
+		got := s.Correctable(faults, start, length)
+		if again := s.Correctable(faults, start, length); again != got {
+			t.Fatalf("non-deterministic: %v then %v", got, again)
+		}
+
+		n := faults.CountInByteWindow(start, length)
+		if n <= 1 && !got {
+			t.Fatalf("%d faults in window must always be correctable", n)
+		}
+		// Deterministic guarantee: t faults spoil at most t(t-1)/2 of the
+		// m+1 partitions, so few enough faults are always separable.
+		if n*(n-1)/2 < 32 && !got {
+			t.Fatalf("%d faults within the deterministic bound reported uncorrectable", n)
+		}
+		// Pigeonhole: the largest partitions have m = 31 groups.
+		if n > 31 && got {
+			t.Fatalf("pigeonhole violated: %d faults separable into 31 groups", n)
+		}
+
+		// Monotonicity under fault removal: each cell has one group per
+		// partition, so shrinking the fault set cannot create collisions.
+		if got && n > 0 {
+			idx := faults.AppendIndicesInWindow(nil, start, length)
+			reduced := *faults
+			reduced.Remove(idx[len(idx)/2])
+			if !s.Correctable(&reduced, start, length) {
+				t.Fatalf("removing fault %d broke correctability", idx[len(idx)/2])
+			}
+		}
+
+		// Faults outside the window hold no data and must not matter.
+		var inWindow ecc.FaultSet
+		for _, cell := range faults.AppendIndicesInWindow(nil, start, length) {
+			inWindow.Add(cell)
+		}
+		if masked := s.Correctable(&inWindow, start, length); masked != got {
+			t.Fatalf("faults outside window changed verdict: %v vs %v", masked, got)
+		}
+	})
+}

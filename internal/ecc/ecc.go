@@ -130,6 +130,11 @@ func (f *FaultSet) Indices() []int {
 	return f.AppendIndicesInWindow(nil, 0, block.Size)
 }
 
+// Word returns the i-th 64-bit chunk of the bitmap (cells 64*i..64*i+63).
+// The write path uses it to mask whole words at a time instead of probing
+// cells one by one.
+func (f *FaultSet) Word(i int) uint64 { return f.words[i] }
+
 // Words returns the raw bitmap for serialization.
 func (f *FaultSet) Words() [block.Bits / 64]uint64 { return f.words }
 

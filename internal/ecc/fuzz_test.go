@@ -1,0 +1,75 @@
+package ecc
+
+import (
+	"testing"
+
+	"pcmcomp/internal/block"
+)
+
+// Native fuzzing for the FaultSet window arithmetic that every hard-error
+// scheme builds on: for arbitrary fault bitmaps and (possibly wrapping)
+// byte windows, the masked popcount (CountInByteWindow) and the index
+// enumeration (AppendIndicesInWindow) must agree exactly, and every
+// reported index must be a real fault inside the window, reported once.
+
+// fuzzFaults reconstructs a FaultSet from eight raw bitmap words.
+func fuzzFaults(w0, w1, w2, w3, w4, w5, w6, w7 uint64) *FaultSet {
+	var f FaultSet
+	f.SetWords([block.Bits / 64]uint64{w0, w1, w2, w3, w4, w5, w6, w7})
+	return &f
+}
+
+// windowContains reports whether byte index b lies in the wrapping window
+// [start, start+length) over a block.Size-byte line.
+func windowContains(start, length, b int) bool {
+	off := (b - start + block.Size) % block.Size
+	return off < length
+}
+
+func FuzzFaultSetWindowCounts(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint8(0), uint8(64))
+	f.Add(^uint64(0), uint64(1), uint64(0), uint64(1<<63), uint64(0xff), uint64(0), uint64(0), uint64(3), uint8(60), uint8(12))
+	f.Add(uint64(1), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(1<<63), uint8(63), uint8(2))
+	f.Fuzz(func(t *testing.T, w0, w1, w2, w3, w4, w5, w6, w7 uint64, startRaw, lengthRaw uint8) {
+		start := int(startRaw) % block.Size
+		length := 1 + int(lengthRaw)%block.Size
+		faults := fuzzFaults(w0, w1, w2, w3, w4, w5, w6, w7)
+
+		count := faults.CountInByteWindow(start, length)
+		idx := faults.AppendIndicesInWindow(nil, start, length)
+
+		if count != len(idx) {
+			t.Fatalf("window (%d,%d): count %d but %d indices", start, length, count, len(idx))
+		}
+		if count > faults.Count() {
+			t.Fatalf("window count %d exceeds total faults %d", count, faults.Count())
+		}
+		seen := make(map[int]bool, len(idx))
+		for _, cell := range idx {
+			if cell < 0 || cell >= block.Bits {
+				t.Fatalf("index %d out of [0,%d)", cell, block.Bits)
+			}
+			if seen[cell] {
+				t.Fatalf("cell %d reported twice", cell)
+			}
+			seen[cell] = true
+			if !faults.Contains(cell) {
+				t.Fatalf("cell %d reported but not faulty", cell)
+			}
+			if !windowContains(start, length, cell/8) {
+				t.Fatalf("cell %d (byte %d) outside window (%d,%d)", cell, cell/8, start, length)
+			}
+		}
+		// Completeness: every faulty cell inside the window must appear.
+		for cell := 0; cell < block.Bits; cell++ {
+			if faults.Contains(cell) && windowContains(start, length, cell/8) && !seen[cell] {
+				t.Fatalf("faulty cell %d (byte %d) inside window (%d,%d) not reported",
+					cell, cell/8, start, length)
+			}
+		}
+		// A full-line window sees every fault regardless of origin.
+		if got := faults.CountInByteWindow(start, block.Size); got != faults.Count() {
+			t.Fatalf("full window from %d counts %d, want %d", start, got, faults.Count())
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package safer
+
+import (
+	"testing"
+
+	"pcmcomp/internal/block"
+	"pcmcomp/internal/ecc"
+)
+
+// Native fuzzing for the SAFER partition derivation. The k-of-9 bit
+// selections must behave like true partitions — every cell lands in
+// exactly one group, so separability can only improve as faults leave a
+// window — and Correctable must be deterministic, panic-free, and honor
+// the pigeonhole and single-fault guarantees for any fault bitmap.
+
+func fuzzFaults(w0, w1, w2, w3, w4, w5, w6, w7 uint64) *ecc.FaultSet {
+	var f ecc.FaultSet
+	f.SetWords([block.Bits / 64]uint64{w0, w1, w2, w3, w4, w5, w6, w7})
+	return &f
+}
+
+func FuzzSaferCorrectable(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint8(0), uint8(64))
+	f.Add(^uint64(0), ^uint64(0), uint64(0), uint64(0), uint64(7), uint64(0), uint64(0), uint64(0), uint8(48), uint8(32))
+	f.Add(uint64(0x8000000000000001), uint64(1), uint64(1), uint64(1), uint64(1), uint64(1), uint64(1), uint64(1), uint8(0), uint8(64))
+	f.Fuzz(func(t *testing.T, w0, w1, w2, w3, w4, w5, w6, w7 uint64, startRaw, lengthRaw uint8) {
+		start := int(startRaw) % block.Size
+		length := 1 + int(lengthRaw)%block.Size
+		faults := fuzzFaults(w0, w1, w2, w3, w4, w5, w6, w7)
+		s := New(5) // the paper's SAFER-32
+
+		got := s.Correctable(faults, start, length)
+		if again := s.Correctable(faults, start, length); again != got {
+			t.Fatalf("non-deterministic: %v then %v", got, again)
+		}
+
+		n := faults.CountInByteWindow(start, length)
+		if n <= 1 && !got {
+			t.Fatalf("%d faults in window must always be correctable", n)
+		}
+		if n > s.Groups() && got {
+			t.Fatalf("pigeonhole violated: %d faults separable into %d groups", n, s.Groups())
+		}
+
+		// Partition soundness: removing a fault from the window can never
+		// turn a correctable line uncorrectable (each cell occupies exactly
+		// one group per selection, so fewer cells never collide more).
+		if got && n > 0 {
+			idx := faults.AppendIndicesInWindow(nil, start, length)
+			reduced := *faults
+			reduced.Remove(idx[0])
+			if !s.Correctable(&reduced, start, length) {
+				t.Fatalf("removing fault %d broke correctability", idx[0])
+			}
+		}
+
+		// Faults outside the window hold no data and must not matter:
+		// keep only the window's faults and re-check.
+		var inWindow ecc.FaultSet
+		for _, cell := range faults.AppendIndicesInWindow(nil, start, length) {
+			inWindow.Add(cell)
+		}
+		if masked := s.Correctable(&inWindow, start, length); masked != got {
+			t.Fatalf("faults outside window changed verdict: %v vs %v", masked, got)
+		}
+	})
+}

@@ -15,6 +15,7 @@ package safer
 import (
 	"strconv"
 
+	"pcmcomp/internal/block"
 	"pcmcomp/internal/ecc"
 )
 
@@ -73,7 +74,11 @@ func (s *Scheme) Correctable(faults *ecc.FaultSet, startByte, lengthBytes int) b
 	if n > s.Groups() {
 		return false // pigeonhole: more faults than groups
 	}
-	idx := faults.AppendIndicesInWindow(make([]int, 0, n), startByte, lengthBytes)
+	// Stack buffer: AppendIndicesInWindow's result stays local, so escape
+	// analysis keeps the array off the heap; the write path calls
+	// Correctable on every placement trial.
+	var buf [block.Bits]int
+	idx := faults.AppendIndicesInWindow(buf[:0], startByte, lengthBytes)
 	return s.separable(idx)
 }
 

@@ -13,10 +13,11 @@ import (
 )
 
 // forEachApp runs fn once per FigureOrder application, concurrently up to
-// the CPU count. Runs are independent and internally seeded, so results
-// are deterministic regardless of scheduling; the first error wins.
-func forEachApp(fn func(i int, app string) error) error {
-	return parallel.ForEach(len(FigureOrder), 0, func(i int) error {
+// limit workers (<= 0 selects the CPU count). Runs are independent and
+// internally seeded, so results are deterministic regardless of scheduling
+// or worker count; the first error wins.
+func forEachApp(limit int, fn func(i int, app string) error) error {
+	return parallel.ForEach(len(FigureOrder), limit, func(i int) error {
 		return fn(i, FigureOrder[i])
 	})
 }
@@ -36,6 +37,10 @@ type LifetimeOptions struct {
 	// paper's largest reported gain is ~13x, so a 40x cap bounds runtime
 	// without censoring any realistic ratio.
 	BaselineCapFactor uint64
+	// Concurrency bounds the per-application worker fan-out (0 = CPU
+	// count). Results are identical at any width — the determinism tests
+	// sweep this knob to prove it.
+	Concurrency int
 }
 
 func (o LifetimeOptions) capFactor() uint64 {
@@ -99,7 +104,7 @@ func Fig10Lifetimes(o LifetimeOptions) (*stats.Table, error) {
 	}
 	systems := []core.SystemKind{core.Comp, core.CompW, core.CompWF}
 	rows := make([][]float64, len(FigureOrder))
-	err := forEachApp(func(i int, app string) error {
+	err := forEachApp(o.Concurrency, func(i int, app string) error {
 		events, _, err := o.appTrace(app)
 		if err != nil {
 			return err
@@ -140,7 +145,7 @@ func Fig12RecoveredCells(o LifetimeOptions) (*stats.Table, error) {
 		Columns: []string{"Baseline", "Comp+WF"},
 	}
 	rows := make([][2]float64, len(FigureOrder))
-	err := forEachApp(func(i int, app string) error {
+	err := forEachApp(o.Concurrency, func(i int, app string) error {
 		events, _, err := o.appTrace(app)
 		if err != nil {
 			return err
@@ -176,7 +181,7 @@ func Fig13HighVariation(o LifetimeOptions) (*stats.Table, error) {
 		Columns: []string{"Comp+WF"},
 	}
 	rows := make([]float64, len(FigureOrder))
-	err := forEachApp(func(i int, app string) error {
+	err := forEachApp(o.Concurrency, func(i int, app string) error {
 		events, _, err := o.appTrace(app)
 		if err != nil {
 			return err
@@ -209,7 +214,7 @@ func Table4Months(o LifetimeOptions) (*stats.Table, error) {
 		Columns: []string{"Baseline", "Comp+WF"},
 	}
 	rows := make([][2]float64, len(FigureOrder))
-	err := forEachApp(func(i int, app string) error {
+	err := forEachApp(o.Concurrency, func(i int, app string) error {
 		events, prof, err := o.appTrace(app)
 		if err != nil {
 			return err

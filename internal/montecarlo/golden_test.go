@@ -1,0 +1,115 @@
+package montecarlo
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pcmcomp/internal/ecc/aegis"
+	"pcmcomp/internal/ecc/ecp"
+	"pcmcomp/internal/ecc/safer"
+)
+
+// The Monte-Carlo golden pins the fault-injection RNG stream and the
+// scheme Correctable kernels bit-for-bit: estimates are recorded as exact
+// IEEE-754 bit patterns, so any change to the draw order (e.g. the batched
+// RNG path) or to a scheme's separability logic fails the test.
+//
+// Regenerate after an intentional change with
+//
+//	go test ./internal/montecarlo -run TestGoldenCurves -update
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current outputs")
+
+type goldenCurves struct {
+	// ECPCurve is Curve(ECP-6, 32B window, 1..25 errors, 400 trials, seed 99)
+	// with each probability stored as Float64bits hex.
+	ECPCurve []string `json:"ecpCurve"`
+	// SAFERPoints / AegisPoints are FailureProbability at 32B, 400 trials,
+	// seed 7, for error counts 12, 24, 36.
+	SAFERPoints []string `json:"saferPoints"`
+	AegisPoints []string `json:"aegisPoints"`
+}
+
+func bitsHex(p float64) string { return fmt.Sprintf("%016x", math.Float64bits(p)) }
+
+func computeGoldenCurves(t *testing.T) goldenCurves {
+	t.Helper()
+	var g goldenCurves
+
+	curve, err := Curve(ecp.New(6), 32, 25, 400, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range curve {
+		g.ECPCurve = append(g.ECPCurve, bitsHex(p))
+	}
+
+	for _, e := range []int{12, 24, 36} {
+		p, err := FailureProbability(Config{
+			Scheme: safer.New(5), WindowBytes: 32, Errors: e, Trials: 400, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.SAFERPoints = append(g.SAFERPoints, bitsHex(p))
+
+		p, err = FailureProbability(Config{
+			Scheme: aegis.MustNew(17, 31), WindowBytes: 32, Errors: e, Trials: 400, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.AegisPoints = append(g.AegisPoints, bitsHex(p))
+	}
+	return g
+}
+
+func goldenPath() string { return filepath.Join("testdata", "golden_curves.json") }
+
+func TestGoldenCurves(t *testing.T) {
+	got := computeGoldenCurves(t)
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(), append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s", goldenPath())
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath())
+	if err != nil {
+		t.Fatalf("read golden (run with -update to generate): %v", err)
+	}
+	var want goldenCurves
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parse golden: %v", err)
+	}
+
+	check := func(name string, got, want []string) {
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d points, golden has %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("%s[%d] = %s, golden %s (RNG stream or scheme kernel changed)",
+					name, i, got[i], want[i])
+			}
+		}
+	}
+	check("ecpCurve", got.ECPCurve, want.ECPCurve)
+	check("saferPoints", got.SAFERPoints, want.SAFERPoints)
+	check("aegisPoints", got.AegisPoints, want.AegisPoints)
+}

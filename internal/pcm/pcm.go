@@ -162,25 +162,42 @@ type WriteResult struct {
 func (l *Line) WriteWindow(newData *block.Block, startByte, lengthBytes int) WriteResult {
 	var res WriteResult
 	l.writes++
-	for byteIdx := startByte; byteIdx < startByte+lengthBytes; byteIdx++ {
-		diff := l.data[byteIdx] ^ newData[byteIdx]
-		for diff != 0 {
-			bit := bits.TrailingZeros8(diff)
-			diff &= diff - 1
-			cell := byteIdx*8 + bit
-			res.FlipsNeeded++
-			if l.faults.Contains(cell) {
-				res.StuckFlips++
-				continue
-			}
-			// Program the healthy cell.
-			l.data[byteIdx] ^= 1 << uint(bit)
-			res.FlipsWritten++
-			if l.data[byteIdx]&(1<<uint(bit)) != 0 {
-				res.Sets++
-			} else {
-				res.Resets++
-			}
+	// Whole 64-bit words at a time: the RMW circuit's compare is a XOR and
+	// the flip/stuck/SET/RESET tallies are popcounts over masked words. Only
+	// cells that actually program (rare relative to window bits) are visited
+	// individually, for wear accounting.
+	start := startByte * 8
+	end := start + lengthBytes*8
+	for w := start >> 6; w <= (end-1)>>6 && w < block.Bits/64; w++ {
+		lo := w << 6
+		mask := ^uint64(0)
+		if start > lo {
+			mask &= ^uint64(0) << (uint(start-lo) & 63)
+		}
+		if end < lo+64 {
+			mask &= 1<<(uint(end-lo)&63) - 1
+		}
+		old := l.data.Word(w)
+		nv := newData.Word(w)
+		diff := (old ^ nv) & mask
+		if diff == 0 {
+			continue
+		}
+		res.FlipsNeeded += bits.OnesCount64(diff)
+		stuck := diff & l.faults.Word(w)
+		res.StuckFlips += bits.OnesCount64(stuck)
+		prog := diff &^ stuck
+		if prog == 0 {
+			continue
+		}
+		res.FlipsWritten += bits.OnesCount64(prog)
+		res.Sets += bits.OnesCount64(prog & nv)
+		res.Resets += bits.OnesCount64(prog &^ nv)
+		l.data.SetWord(w, old^prog)
+		// Wear the programmed cells, ascending, so NewFaults order matches
+		// the per-bit implementation this replaces.
+		for p := prog; p != 0; p &= p - 1 {
+			cell := lo + bits.TrailingZeros64(p)
 			l.remaining[cell]--
 			if l.remaining[cell] == 0 {
 				l.faults.Add(cell)

@@ -38,6 +38,14 @@ type Rand struct {
 // Two generators constructed with the same seed produce identical streams.
 func New(seed uint64) *Rand {
 	r := &Rand{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed reinitializes the generator in place, exactly as if it had been
+// constructed by New(seed). It lets hot loops keep a stack-allocated Rand
+// value instead of heap-allocating a fresh generator per stream.
+func (r *Rand) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		r.s[i] = splitMix64(&sm)
@@ -46,7 +54,8 @@ func New(seed uint64) *Rand {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
+	r.hasSpare = false
+	r.spare = 0
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
@@ -137,3 +146,70 @@ func (r *Rand) Shuffle(n int, swap func(i, j int)) {
 // simulated component its own stream so that adding draws to one component
 // does not perturb another.
 func (r *Rand) Split() *Rand { return New(r.Uint64()) }
+
+// Fill fills dst with consecutive generator outputs, identical to calling
+// Uint64 len(dst) times. The Xoshiro state lives in registers across the
+// loop, so bulk consumers (Monte-Carlo fault injection) pay the state
+// load/store once per batch rather than once per draw.
+func (r *Rand) Fill(dst []uint64) {
+	s0, s1, s2, s3 := r.s[0], r.s[1], r.s[2], r.s[3]
+	for i := range dst {
+		dst[i] = rotl(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = rotl(s3, 45)
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+}
+
+// batchSize is the number of outputs prefetched per Fill by a Batch.
+const batchSize = 64
+
+// Batch serves draws from blocks of outputs prefetched with Fill. Values
+// come out in exact generation order, so a Batch-driven consumer sees the
+// same stream as one calling the underlying Rand directly (any prefetched
+// values left unconsumed when the Batch is dropped are simply discarded).
+// The zero value is not valid; call Reset first.
+type Batch struct {
+	r   *Rand
+	buf [batchSize]uint64
+	pos int
+}
+
+// Reset points the batch at a generator and empties the prefetch buffer.
+func (b *Batch) Reset(r *Rand) {
+	b.r = r
+	b.pos = batchSize
+}
+
+// Uint64 returns the next 64 random bits, refilling from the underlying
+// generator as needed.
+func (b *Batch) Uint64() uint64 {
+	if b.pos >= batchSize {
+		b.r.Fill(b.buf[:])
+		b.pos = 0
+	}
+	v := b.buf[b.pos]
+	b.pos++
+	return v
+}
+
+// Intn returns a uniform random int in [0, n), consuming the same draws as
+// Rand.Intn would. It panics if n <= 0.
+func (b *Batch) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	bound := uint64(n)
+	threshold := (-bound) % bound
+	for {
+		hi, lo := bits.Mul64(b.Uint64(), bound)
+		if lo >= threshold {
+			return int(hi)
+		}
+	}
+}

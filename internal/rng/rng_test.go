@@ -161,3 +161,69 @@ func BenchmarkNormFloat64(b *testing.B) {
 		_ = r.NormFloat64()
 	}
 }
+
+func TestReseedMatchesNew(t *testing.T) {
+	fresh := New(42)
+	r := *New(99)
+	r.NormFloat64() // dirty the Box-Muller spare and the state
+	r.Reseed(42)
+	for i := 0; i < 100; i++ {
+		if got, want := r.Uint64(), fresh.Uint64(); got != want {
+			t.Fatalf("draw %d: Reseed stream %#x, New stream %#x", i, got, want)
+		}
+	}
+	r.Reseed(42)
+	fresh2 := New(42)
+	if got, want := r.NormFloat64(), fresh2.NormFloat64(); got != want {
+		t.Fatalf("NormFloat64 after Reseed = %v, want %v", got, want)
+	}
+}
+
+func TestFillMatchesUint64Stream(t *testing.T) {
+	a, b := New(7), New(7)
+	var buf [193]uint64 // deliberately not a multiple of the batch size
+	a.Fill(buf[:])
+	for i, v := range buf {
+		if want := b.Uint64(); v != want {
+			t.Fatalf("Fill[%d] = %#x, want %#x", i, v, want)
+		}
+	}
+	// State must match after the bulk fill, too.
+	if got, want := a.Uint64(), b.Uint64(); got != want {
+		t.Fatalf("post-Fill draw = %#x, want %#x", got, want)
+	}
+}
+
+func TestBatchMatchesDirectStream(t *testing.T) {
+	direct := New(11)
+	var backing Rand
+	backing.Reseed(11)
+	var batch Batch
+	batch.Reset(&backing)
+	for i := 0; i < 500; i++ {
+		if got, want := batch.Uint64(), direct.Uint64(); got != want {
+			t.Fatalf("draw %d: batch %#x, direct %#x", i, got, want)
+		}
+	}
+	// Intn must consume the identical draws (Lemire rejection included).
+	direct2 := New(13)
+	var backing2 Rand
+	backing2.Reseed(13)
+	var batch2 Batch
+	batch2.Reset(&backing2)
+	for i := 0; i < 500; i++ {
+		n := 1 + i%700 // mix of power-of-two and awkward bounds
+		if got, want := batch2.Intn(n), direct2.Intn(n); got != want {
+			t.Fatalf("Intn draw %d (n=%d): batch %d, direct %d", i, n, got, want)
+		}
+	}
+}
+
+func BenchmarkFill(b *testing.B) {
+	r := New(1)
+	var buf [64]uint64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Fill(buf[:])
+	}
+}
