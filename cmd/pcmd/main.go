@@ -7,10 +7,15 @@
 // Usage:
 //
 //	pcmd [-addr :8080] [-workers N] [-queue 64] [-cache 256]
-//	     [-job-timeout 15m] [-drain-timeout 30s]
+//	     [-job-timeout 15m] [-job-ttl 1h] [-max-jobs 4096]
+//	     [-snapshot path.json] [-snapshot-interval 1m]
+//	     [-drain-timeout 30s]
 //
 // SIGINT/SIGTERM begin a graceful drain: new submissions get 503, running
-// and queued jobs finish (up to -drain-timeout), then the process exits.
+// and queued jobs finish (up to -drain-timeout), the final snapshot (when
+// -snapshot is set) is written, then the process exits. On the next start
+// the snapshot restores finished jobs and the result cache, so a restart
+// does not forget completed sweeps.
 package main
 
 import (
@@ -48,17 +53,28 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	queue := fs.Int("queue", 64, "job queue depth")
 	cacheEntries := fs.Int("cache", 256, "result cache entries (negative disables)")
 	jobTimeout := fs.Duration("job-timeout", 15*time.Minute, "per-job execution deadline")
+	jobTTL := fs.Duration("job-ttl", time.Hour, "how long finished job handles stay pollable")
+	maxJobs := fs.Int("max-jobs", 4096, "job store bound (terminal jobs evicted beyond it)")
+	snapshot := fs.String("snapshot", "", "crash-safety snapshot file (empty disables persistence)")
+	snapshotInterval := fs.Duration("snapshot-interval", time.Minute, "periodic snapshot cadence")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "shutdown drain deadline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	svc := server.New(server.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cacheEntries,
-		JobTimeout:   *jobTimeout,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheEntries:     *cacheEntries,
+		JobTimeout:       *jobTimeout,
+		JobTTL:           *jobTTL,
+		MaxJobs:          *maxJobs,
+		SnapshotPath:     *snapshot,
+		SnapshotInterval: *snapshotInterval,
 	})
+	if err := svc.RestoreError(); err != nil {
+		log.Printf("pcmd: starting with an empty store: %v", err)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

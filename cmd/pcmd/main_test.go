@@ -1,10 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"net"
 	"net/http"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -83,6 +85,106 @@ func TestServeSubmitDrain(t *testing.T) {
 	case <-time.After(45 * time.Second):
 		t.Fatal("drain did not complete")
 	}
+}
+
+// TestSnapshotSurvivesRestart boots the daemon with -snapshot, completes a
+// job, drains (the SIGTERM path writes the final snapshot), then boots a
+// second daemon on the same snapshot: the finished job must be pollable
+// with the identical result and the cache must answer a resubmission.
+func TestSnapshotSurvivesRestart(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "pcmd.snapshot.json")
+	args := []string{"-addr", "127.0.0.1:0", "-workers", "2", "-snapshot", snap}
+
+	boot := func() (string, context.CancelFunc, chan error) {
+		ctx, cancel := context.WithCancel(context.Background())
+		ready := make(chan net.Addr, 1)
+		done := make(chan error, 1)
+		go func() { done <- run(ctx, args, ready) }()
+		select {
+		case addr := <-ready:
+			return "http://" + addr.String(), cancel, done
+		case err := <-done:
+			t.Fatalf("server exited early: %v", err)
+			return "", cancel, done
+		}
+	}
+	drain := func(cancel context.CancelFunc, done chan error) {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+		case <-time.After(45 * time.Second):
+			t.Fatal("drain did not complete")
+		}
+	}
+
+	base, cancel, done := boot()
+	body := `{"apps": ["milc"], "scale": "quick"}`
+	resp, err := http.Post(base+"/v1/jobs/compression", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		ID     string          `json:"id"`
+		State  string          `json:"state"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(60 * time.Second)
+	for job.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", job.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+		resp, err := http.Get(base + "/v1/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	want := job.Result
+	drain(cancel, done)
+
+	// Second boot: the job handle and cache must have survived.
+	base, cancel, done = boot()
+	resp, err = http.Get(base + "/v1/jobs/" + job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored struct {
+		State  string          `json:"state"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&restored); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if restored.State != "done" || !bytes.Equal(restored.Result, want) {
+		t.Fatalf("restored job: state=%s, result match=%v", restored.State, bytes.Equal(restored.Result, want))
+	}
+	resp, err = http.Post(base+"/v1/jobs/compression", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit struct {
+		CacheHit bool `json:"cache_hit"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hit); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !hit.CacheHit {
+		t.Fatalf("restored cache missed: %d, hit=%v", resp.StatusCode, hit.CacheHit)
+	}
+	drain(cancel, done)
 }
 
 func TestBadFlags(t *testing.T) {

@@ -1,0 +1,335 @@
+// Package pcmclient is the Go client for the pcmd simulation service:
+// submit, poll, wait, and cancel jobs against a running daemon, with
+// retry, exponential backoff, and jitter on transient failures (503s and
+// other 5xx responses, transport errors).
+//
+// The retry policy matches the server's two distinct 503s: a full queue
+// is transient (the server sends Retry-After, the client backs off and
+// resubmits), while a 4xx is the caller's bug and fails immediately.
+// Typical use:
+//
+//	c := pcmclient.New("http://localhost:8080")
+//	job, err := c.Run(ctx, pcmclient.KindCompression,
+//	    map[string]any{"apps": []string{"milc"}, "scale": "quick"})
+//
+// Run submits and waits; Submit/Poll/Cancel are the primitives for
+// callers that manage many jobs at once.
+package pcmclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The job kinds, mirroring the server's POST /v1/jobs/{kind} endpoints.
+const (
+	KindLifetime           = "lifetime"
+	KindFailureProbability = "failure-probability"
+	KindCompression        = "compression"
+)
+
+// The job lifecycle states, mirroring internal/server.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Job is the client's view of a job document. Result holds the raw JSON
+// payload once the job is done; unmarshal it into the kind's result type.
+type Job struct {
+	ID       string          `json:"id"`
+	Kind     string          `json:"kind"`
+	State    string          `json:"state"`
+	CacheHit bool            `json:"cache_hit"`
+	Created  time.Time       `json:"created"`
+	Started  *time.Time      `json:"started,omitempty"`
+	Finished *time.Time      `json:"finished,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
+// Terminal reports whether the job has reached a final state.
+func (j *Job) Terminal() bool {
+	return j.State == StateDone || j.State == StateFailed || j.State == StateCanceled
+}
+
+// APIError is a non-retryable error response from the service (4xx, or a
+// 5xx that survived every retry).
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("pcmd: %d: %s", e.StatusCode, e.Message)
+}
+
+// JobFailed is returned by Wait/Run when the job reached failed or
+// canceled instead of done.
+type JobFailed struct {
+	Job Job
+}
+
+func (e *JobFailed) Error() string {
+	return fmt.Sprintf("pcmd: job %s %s: %s", e.Job.ID, e.Job.State, e.Job.Error)
+}
+
+// Client talks to one pcmd instance. The zero value is not usable; create
+// with New and adjust the exported knobs before the first call.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxRetries bounds retry attempts after the first try (default 4).
+	MaxRetries int
+	// BaseBackoff is the first retry delay; each retry doubles it up to
+	// MaxBackoff, then ±50% jitter decorrelates clients that failed
+	// together (defaults 100ms and 5s). A server Retry-After hint
+	// overrides the computed delay when it is longer.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// PollInterval is Wait's cadence (default 250ms).
+	PollInterval time.Duration
+
+	// sleep is swappable so tests can run retries without wall-clock
+	// delays; it must honor ctx cancellation.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// New returns a client with the default retry policy.
+func New(baseURL string) *Client {
+	return &Client{
+		BaseURL:      strings.TrimRight(baseURL, "/"),
+		HTTPClient:   http.DefaultClient,
+		MaxRetries:   4,
+		BaseBackoff:  100 * time.Millisecond,
+		MaxBackoff:   5 * time.Second,
+		PollInterval: 250 * time.Millisecond,
+	}
+}
+
+// backoff computes the delay before retry attempt (0-based), exponential
+// with ±50% jitter.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.BaseBackoff << attempt
+	if d > c.MaxBackoff || d <= 0 {
+		d = c.MaxBackoff
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int64N(int64(half)+1))
+}
+
+func (c *Client) doSleep(ctx context.Context, d time.Duration) error {
+	if c.sleep != nil {
+		return c.sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// retryAfter parses a Retry-After seconds hint (0 when absent/unusable).
+func retryAfter(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// do issues one request with the retry policy and decodes the JSON
+// response into out. body is re-encoded per attempt, so retries resend
+// the full payload.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			buf, err := json.Marshal(body)
+			if err != nil {
+				return fmt.Errorf("pcmclient: encode request: %w", err)
+			}
+			rd = bytes.NewReader(buf)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		retry, err := c.attempt(req, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retry || attempt >= c.MaxRetries {
+			return lastErr
+		}
+		delay := c.backoff(attempt)
+		if hint := lastRetryAfter(err); hint > delay {
+			delay = hint
+		}
+		if err := c.doSleep(ctx, delay); err != nil {
+			return err
+		}
+	}
+}
+
+// retryableError wraps a retryable failure with the server's Retry-After
+// hint so the backoff loop can honor it.
+type retryableError struct {
+	err  error
+	hint time.Duration
+}
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+func lastRetryAfter(err error) time.Duration {
+	if re, ok := err.(*retryableError); ok {
+		return re.hint
+	}
+	return 0
+}
+
+// attempt runs one HTTP round trip. It reports whether a failure is
+// retryable (transport error or 5xx) and decodes success into out.
+func (c *Client) attempt(req *http.Request, out any) (retry bool, err error) {
+	httpc := c.HTTPClient
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		// Transport errors are retryable unless the context is gone.
+		if req.Context().Err() != nil {
+			return false, req.Context().Err()
+		}
+		return true, &retryableError{err: err}
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return true, &retryableError{err: err}
+	}
+	if resp.StatusCode >= 500 || resp.StatusCode == http.StatusServiceUnavailable {
+		return true, &retryableError{
+			err:  &APIError{StatusCode: resp.StatusCode, Message: errorMessage(buf)},
+			hint: retryAfter(resp),
+		}
+	}
+	if resp.StatusCode >= 400 {
+		return false, &APIError{StatusCode: resp.StatusCode, Message: errorMessage(buf)}
+	}
+	if out == nil {
+		return false, nil
+	}
+	if err := json.Unmarshal(buf, out); err != nil {
+		return false, fmt.Errorf("pcmclient: decode response: %w", err)
+	}
+	return false, nil
+}
+
+// errorMessage extracts the {"error": "..."} body the service sends, or
+// falls back to the raw bytes.
+func errorMessage(buf []byte) string {
+	var doc struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(buf, &doc) == nil && doc.Error != "" {
+		return doc.Error
+	}
+	return strings.TrimSpace(string(buf))
+}
+
+// Submit posts a job of the given kind. params may be any
+// JSON-serializable value matching the kind's parameter schema (a struct
+// or map). The returned job is queued — or already done on a cache hit.
+func (c *Client) Submit(ctx context.Context, kind string, params any) (*Job, error) {
+	var j Job
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs/"+kind, params, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Poll fetches a job's current document.
+func (c *Client) Poll(ctx context.Context, id string) (*Job, error) {
+	var j Job
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Cancel requests cancellation of a queued or running job and returns the
+// job document as of the request. A queued job is canceled synchronously;
+// a running job transitions within one of the server's context-poll
+// intervals — use Wait to observe the final state.
+func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
+	var j Job
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Wait polls until the job reaches a terminal state. A done job returns
+// (job, nil); failed or canceled returns the job inside a *JobFailed.
+func (c *Client) Wait(ctx context.Context, id string) (*Job, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	for {
+		j, err := c.Poll(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if j.Terminal() {
+			if j.State != StateDone {
+				return j, &JobFailed{Job: *j}
+			}
+			return j, nil
+		}
+		if err := c.doSleep(ctx, interval); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Run submits a job and waits for its result.
+func (c *Client) Run(ctx context.Context, kind string, params any) (*Job, error) {
+	j, err := c.Submit(ctx, kind, params)
+	if err != nil {
+		return nil, err
+	}
+	if j.Terminal() { // cache hit: born done
+		if j.State != StateDone {
+			return j, &JobFailed{Job: *j}
+		}
+		return j, nil
+	}
+	return c.Wait(ctx, j.ID)
+}

@@ -1,0 +1,216 @@
+package pcmclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pcmcomp/internal/server"
+)
+
+// newFlaky returns a test server that answers 503 (with the given
+// Retry-After) until failures run out, then delegates to ok.
+func newFlaky(failures int, retryAfter string, ok http.HandlerFunc) (*httptest.Server, *atomic.Int64) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(failures) {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": "job queue full, retry later"})
+			return
+		}
+		ok(w, r)
+	}))
+	return ts, &calls
+}
+
+// instrument replaces the client's sleep with a recorder so retry tests
+// run instantly and the chosen delays are observable.
+func instrument(c *Client) *[]time.Duration {
+	var delays []time.Duration
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		delays = append(delays, d)
+		return ctx.Err()
+	}
+	return &delays
+}
+
+// TestRetryOn503 checks that transient 503s are retried with exponential
+// backoff and the call eventually succeeds.
+func TestRetryOn503(t *testing.T) {
+	ts, calls := newFlaky(2, "", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(Job{ID: "j000001-aaaaaaaa", State: StateQueued})
+	})
+	defer ts.Close()
+
+	c := New(ts.URL)
+	delays := instrument(c)
+	j, err := c.Submit(context.Background(), KindCompression, map[string]any{"apps": []string{"milc"}})
+	if err != nil {
+		t.Fatalf("submit after retries: %v", err)
+	}
+	if j.ID != "j000001-aaaaaaaa" {
+		t.Fatalf("job = %+v", j)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (two 503s, one success)", got)
+	}
+	if len(*delays) != 2 {
+		t.Fatalf("backoff sleeps = %d, want 2", len(*delays))
+	}
+	// Exponential with ±50% jitter: attempt i sleeps in [base*2^i/2, base*2^i].
+	base := c.BaseBackoff
+	for i, d := range *delays {
+		lo, hi := (base<<i)/2, base<<i
+		if d < lo || d > hi {
+			t.Fatalf("delay %d = %v outside jitter window [%v, %v]", i, d, lo, hi)
+		}
+	}
+}
+
+// TestRetryHonorsRetryAfter checks the server's hint overrides a shorter
+// computed backoff.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	ts, _ := newFlaky(1, "2", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(Job{ID: "j1", State: StateQueued})
+	})
+	defer ts.Close()
+
+	c := New(ts.URL)
+	delays := instrument(c)
+	if _, err := c.Submit(context.Background(), KindCompression, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(*delays) != 1 || (*delays)[0] < 2*time.Second {
+		t.Fatalf("Retry-After hint ignored: slept %v, want >= 2s", *delays)
+	}
+}
+
+// TestRetriesExhausted checks a persistent 503 surfaces as an APIError
+// after MaxRetries+1 attempts.
+func TestRetriesExhausted(t *testing.T) {
+	ts, calls := newFlaky(1000, "", nil)
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.MaxRetries = 3
+	instrument(c)
+	_, err := c.Submit(context.Background(), KindCompression, nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want 503 APIError", err)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("attempts = %d, want MaxRetries+1 = 4", got)
+	}
+}
+
+// TestNoRetryOn4xx checks client errors fail immediately with the server's
+// message and no backoff.
+func TestNoRetryOn4xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{"error": "app is required"})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	delays := instrument(c)
+	_, err := c.Submit(context.Background(), KindLifetime, map[string]any{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want APIError", err)
+	}
+	if apiErr.StatusCode != http.StatusBadRequest || apiErr.Message != "app is required" {
+		t.Fatalf("apiErr = %+v", apiErr)
+	}
+	if calls.Load() != 1 || len(*delays) != 0 {
+		t.Fatalf("4xx retried: %d attempts, %d sleeps", calls.Load(), len(*delays))
+	}
+}
+
+// TestClientEndToEnd drives the real service through the client: run a
+// job to completion, hit the cache, and cancel a long job mid-run.
+func TestClientEndToEnd(t *testing.T) {
+	s := server.New(server.Config{Workers: 1, QueueDepth: 8, JobTimeout: 10 * time.Minute})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	}()
+
+	c := New(ts.URL)
+	c.PollInterval = 10 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
+	params := map[string]any{"apps": []string{"milc"}, "scale": "quick"}
+	j, err := c.Run(ctx, KindCompression, params)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if j.State != StateDone || len(j.Result) == 0 {
+		t.Fatalf("job = %+v", j)
+	}
+	var res struct {
+		Apps []struct {
+			App string `json:"app"`
+		} `json:"apps"`
+	}
+	if err := json.Unmarshal(j.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Apps) != 1 || res.Apps[0].App != "milc" {
+		t.Fatalf("result = %+v", res)
+	}
+
+	// Same params: a born-done cache hit.
+	hit, err := c.Run(ctx, KindCompression, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.CacheHit {
+		t.Fatalf("second run not a cache hit: %+v", hit)
+	}
+
+	// Cancel a job that would otherwise run for hours; Wait must surface
+	// the canceled state as a JobFailed.
+	big, err := c.Submit(ctx, KindLifetime,
+		map[string]any{"app": "milc", "scale": "large", "systems": []string{"baseline"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		cur, err := c.Poll(ctx, big.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.State == StateRunning {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := c.Cancel(ctx, big.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	_, err = c.Wait(ctx, big.ID)
+	var failed *JobFailed
+	if !errors.As(err, &failed) || failed.Job.State != StateCanceled {
+		t.Fatalf("wait after cancel = %v, want canceled JobFailed", err)
+	}
+}

@@ -73,3 +73,33 @@ func (c *resultCache) Len() int {
 	defer c.mu.Unlock()
 	return c.order.Len()
 }
+
+// exportedEntry is one cache entry in a snapshot.
+type exportedEntry struct {
+	Key string          `json:"key"`
+	Val json.RawMessage `json:"val"`
+}
+
+// export returns the entries from least to most recently used, so
+// replaying them through Put (restore) reproduces the recency order and
+// the exact value bytes.
+func (c *resultCache) export() []exportedEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]exportedEntry, 0, c.order.Len())
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		out = append(out, exportedEntry{Key: e.key, Val: e.val})
+	}
+	return out
+}
+
+// restore replays snapshotted entries in LRU-to-MRU order.
+func (c *resultCache) restore(entries []exportedEntry) {
+	for _, e := range entries {
+		if e.Key == "" || e.Val == nil {
+			continue
+		}
+		c.Put(e.Key, e.Val)
+	}
+}

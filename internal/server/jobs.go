@@ -1,10 +1,12 @@
 package server
 
 import (
+	"container/list"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -36,13 +38,21 @@ var Kinds = []Kind{KindLifetime, KindFailureProbability, KindCompression}
 // State is a job's lifecycle phase.
 type State string
 
-// Jobs move queued -> running -> done|failed; a cache hit is born done.
+// Jobs move queued -> running -> done|failed|canceled; a cache hit is born
+// done, and DELETE /v1/jobs/{id} moves queued jobs straight to canceled.
 const (
-	StateQueued  State = "queued"
-	StateRunning State = "running"
-	StateDone    State = "done"
-	StateFailed  State = "failed"
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
 )
+
+// Terminal reports whether a state is final (the job will never run
+// again); terminal jobs are the ones the store may evict.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
 
 // params is the behavior every job-kind parameter struct implements. The
 // structs double as the canonical cache-key material: normalize fills in
@@ -89,18 +99,127 @@ type Job struct {
 	Error    string          `json:"error,omitempty"`
 
 	run params
+	// cancel aborts the running job's context with errJobCanceled; set by
+	// claimRunning, nil outside the running state.
+	cancel context.CancelCauseFunc
+	// elem is the job's position in the store's terminal-order list once
+	// the job reaches a terminal state.
+	elem *list.Element
 }
 
-// store is the in-memory job registry. Jobs are never evicted: one sweep's
-// worth of handles is small, and the result payloads live in the bounded
-// LRU cache anyway.
+// errJobCanceled is the cancellation cause a DELETE plants in a running
+// job's context, so execute can tell a client cancel from a timeout.
+var errJobCanceled = errors.New("canceled by client")
+
+// store is the in-memory job registry, bounded two ways: terminal jobs
+// (done/failed/canceled) are evicted oldest-finished-first once the store
+// exceeds maxJobs, and sweep drops terminal jobs older than ttl. Queued
+// and running jobs are never evicted — their count is already bounded by
+// the pool's queue depth plus worker count — so sustained traffic cannot
+// grow the store without bound while evicted results stay reachable
+// through the content-addressed cache.
 type store struct {
-	mu   sync.Mutex
-	seq  uint64
-	jobs map[string]*Job
+	mu       sync.Mutex
+	seq      uint64
+	maxJobs  int
+	ttl      time.Duration
+	jobs     map[string]*Job
+	terminal *list.List // front = oldest finished, the next to evict
+	evicted  uint64     // jobs dropped by either bound, for /metrics
 }
 
-func newStore() *store { return &store{jobs: make(map[string]*Job)} }
+func newStore(maxJobs int, ttl time.Duration) *store {
+	return &store{
+		maxJobs:  maxJobs,
+		ttl:      ttl,
+		jobs:     make(map[string]*Job),
+		terminal: list.New(),
+	}
+}
+
+// markTerminal records a job's terminal position and enforces the capacity
+// bound. Callers hold s.mu and have already set the terminal state.
+func (s *store) markTerminal(j *Job) {
+	j.cancel = nil
+	j.elem = s.terminal.PushBack(j)
+	for len(s.jobs) > s.maxJobs && s.terminal.Len() > 0 {
+		oldest := s.terminal.Remove(s.terminal.Front()).(*Job)
+		delete(s.jobs, oldest.ID)
+		s.evicted++
+	}
+}
+
+// sweep evicts terminal jobs whose Finished time is older than the TTL and
+// returns how many were dropped.
+func (s *store) sweep(now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	evicted := 0
+	for el := s.terminal.Front(); el != nil; {
+		j := el.Value.(*Job)
+		if j.Finished == nil || now.Sub(*j.Finished) < s.ttl {
+			break // the list is finished-ordered; the rest are younger
+		}
+		next := el.Next()
+		s.terminal.Remove(el)
+		delete(s.jobs, j.ID)
+		evicted++
+		s.evicted++
+		el = next
+	}
+	return evicted
+}
+
+// evictedCount returns how many jobs both bounds have dropped so far.
+func (s *store) evictedCount() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
+}
+
+// size returns the current number of tracked jobs.
+func (s *store) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// export returns copies of every terminal job in eviction order (oldest
+// finished first) plus the ID sequence, for snapshotting. Queued and
+// running jobs are deliberately absent: they cannot survive a restart.
+func (s *store) export() ([]Job, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, s.terminal.Len())
+	for el := s.terminal.Front(); el != nil; el = el.Next() {
+		out = append(out, *el.Value.(*Job))
+	}
+	return out, s.seq
+}
+
+// restore reinstates snapshotted terminal jobs, preserving their eviction
+// order, and advances the ID sequence so new jobs cannot collide with
+// restored ones. Non-terminal or malformed entries are skipped.
+func (s *store) restore(jobs []Job, seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq > s.seq {
+		s.seq = seq
+	}
+	for i := range jobs {
+		j := jobs[i]
+		if j.ID == "" || !j.State.Terminal() || j.Finished == nil {
+			continue
+		}
+		if _, exists := s.jobs[j.ID]; exists {
+			continue
+		}
+		j.run, j.cancel, j.elem = nil, nil, nil
+		cp := j
+		s.jobs[cp.ID] = &cp
+		s.markTerminal(&cp)
+	}
+}
 
 // add registers a new job and assigns its ID. IDs embed a sequence number
 // and the cache-key prefix, so logs correlate job handles with results.
@@ -144,12 +263,19 @@ func (s *store) list() []Job {
 	return out
 }
 
-// setRunning marks a job started.
-func (s *store) setRunning(j *Job, now time.Time) {
+// claimRunning atomically moves a queued job to running and installs its
+// cancel function. It reports false when the job was canceled while
+// waiting in the queue — the worker must skip it without running.
+func (s *store) claimRunning(j *Job, cancel context.CancelCauseFunc, now time.Time) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if j.State != StateQueued {
+		return false
+	}
 	j.State = StateRunning
 	j.Started = &now
+	j.cancel = cancel
+	return true
 }
 
 // setDone records a successful result.
@@ -159,6 +285,7 @@ func (s *store) setDone(j *Job, result json.RawMessage, now time.Time) {
 	j.State = StateDone
 	j.Result = result
 	j.Finished = &now
+	s.markTerminal(j)
 }
 
 // finishCached completes a job immediately from a cached result.
@@ -170,6 +297,7 @@ func (s *store) finishCached(j *Job, result json.RawMessage, now time.Time) {
 	j.Result = result
 	j.Started = &now
 	j.Finished = &now
+	s.markTerminal(j)
 }
 
 // setFailed records a failure.
@@ -179,6 +307,56 @@ func (s *store) setFailed(j *Job, err error, now time.Time) {
 	j.State = StateFailed
 	j.Error = err.Error()
 	j.Finished = &now
+	s.markTerminal(j)
+}
+
+// setCanceled records a cancellation observed by the worker (the running
+// job's run returned with errJobCanceled as the context cause).
+func (s *store) setCanceled(j *Job, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.State = StateCanceled
+	j.Error = errJobCanceled.Error()
+	j.Finished = &now
+	s.markTerminal(j)
+}
+
+// cancelOutcome classifies what a cancel request found.
+type cancelOutcome int
+
+const (
+	cancelUnknown  cancelOutcome = iota // no such job
+	cancelQueued                        // canceled before running; now terminal
+	cancelRunning                       // cancellation signaled; worker will finish it
+	cancelTerminal                      // already done/failed/canceled; nothing to do
+)
+
+// cancel handles DELETE /v1/jobs/{id}: a queued job flips straight to
+// canceled (the worker that later dequeues it skips it), a running job has
+// its context canceled with errJobCanceled so the simulation unwinds at
+// its next context poll and the worker is freed mid-run.
+func (s *store) cancel(id string, now time.Time) (Job, cancelOutcome) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, cancelUnknown
+	}
+	switch j.State {
+	case StateQueued:
+		j.State = StateCanceled
+		j.Error = errJobCanceled.Error()
+		j.Finished = &now
+		s.markTerminal(j)
+		return *j, cancelQueued
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel(errJobCanceled)
+		}
+		return *j, cancelRunning
+	default:
+		return *j, cancelTerminal
+	}
 }
 
 // --- lifetime jobs ---

@@ -35,21 +35,26 @@ func (h *histogram) observe(seconds float64) {
 // metrics aggregates the service's observability counters, rendered in
 // Prometheus text exposition format by WriteTo.
 type metrics struct {
-	mu          sync.Mutex
-	queued      int64 // gauge: accepted, not yet started
-	running     int64 // gauge: currently executing
-	done        map[Kind]uint64
-	failed      map[Kind]uint64
-	cacheHits   uint64
-	cacheMisses uint64
-	latency     map[Kind]*histogram
+	mu            sync.Mutex
+	queued        int64 // gauge: accepted, not yet started
+	running       int64 // gauge: currently executing
+	done          map[Kind]uint64
+	failed        map[Kind]uint64
+	canceled      map[Kind]uint64
+	cacheHits     uint64
+	cacheMisses   uint64
+	rejectedFull  uint64 // submissions refused: queue full (transient)
+	rejectedDrain uint64 // submissions refused: pool draining (terminal)
+	snapshots     uint64 // successful snapshot writes
+	latency       map[Kind]*histogram
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		done:    make(map[Kind]uint64),
-		failed:  make(map[Kind]uint64),
-		latency: make(map[Kind]*histogram),
+		done:     make(map[Kind]uint64),
+		failed:   make(map[Kind]uint64),
+		canceled: make(map[Kind]uint64),
+		latency:  make(map[Kind]*histogram),
 	}
 }
 
@@ -67,14 +72,26 @@ func (m *metrics) jobStarted() {
 	m.running++
 }
 
-func (m *metrics) jobFinished(kind Kind, ok bool, elapsed time.Duration) {
+// jobOutcome is the terminal accounting bucket for jobFinished.
+type jobOutcome int
+
+const (
+	outcomeDone jobOutcome = iota
+	outcomeFailed
+	outcomeCanceled
+)
+
+func (m *metrics) jobFinished(kind Kind, outcome jobOutcome, elapsed time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.running--
-	if ok {
+	switch outcome {
+	case outcomeDone:
 		m.done[kind]++
-	} else {
+	case outcomeFailed:
 		m.failed[kind]++
+	case outcomeCanceled:
+		m.canceled[kind]++
 	}
 	h := m.latency[kind]
 	if h == nil {
@@ -82,6 +99,34 @@ func (m *metrics) jobFinished(kind Kind, ok bool, elapsed time.Duration) {
 		m.latency[kind] = h
 	}
 	h.observe(elapsed.Seconds())
+}
+
+// jobSkipped accounts for a queued job a worker dequeued but did not run
+// because it was canceled while waiting: it leaves the queue gauge without
+// ever entering the running gauge.
+func (m *metrics) jobSkipped(kind Kind) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queued--
+	m.canceled[kind]++
+}
+
+// jobRejected counts a refused submission by reason.
+func (m *metrics) jobRejected(r submitResult) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if r == submitClosed {
+		m.rejectedDrain++
+	} else {
+		m.rejectedFull++
+	}
+}
+
+// snapshotSaved counts successful snapshot writes.
+func (m *metrics) snapshotSaved() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.snapshots++
 }
 
 func (m *metrics) cacheHit() {
@@ -99,9 +144,10 @@ func (m *metrics) snapshotCacheHits() uint64 {
 
 // WriteTo renders the Prometheus text format. Kinds are emitted in the
 // fixed Kinds order so the output is stable for scrapers and tests.
-func (m *metrics) WriteTo(w io.Writer, cacheLen int) {
+func (m *metrics) WriteTo(w io.Writer, cacheLen, storeLen int, evicted uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	fmt.Fprintf(w, "# TYPE pcmd_jobs_tracked gauge\npcmd_jobs_tracked %d\n", storeLen)
 	fmt.Fprintf(w, "# TYPE pcmd_jobs_queued gauge\npcmd_jobs_queued %d\n", m.queued)
 	fmt.Fprintf(w, "# TYPE pcmd_jobs_running gauge\npcmd_jobs_running %d\n", m.running)
 	fmt.Fprintf(w, "# TYPE pcmd_jobs_done_total counter\n")
@@ -112,6 +158,15 @@ func (m *metrics) WriteTo(w io.Writer, cacheLen int) {
 	for _, k := range Kinds {
 		fmt.Fprintf(w, "pcmd_jobs_failed_total{kind=%q} %d\n", k, m.failed[k])
 	}
+	fmt.Fprintf(w, "# TYPE pcmd_jobs_canceled_total counter\n")
+	for _, k := range Kinds {
+		fmt.Fprintf(w, "pcmd_jobs_canceled_total{kind=%q} %d\n", k, m.canceled[k])
+	}
+	fmt.Fprintf(w, "# TYPE pcmd_submit_rejected_total counter\n")
+	fmt.Fprintf(w, "pcmd_submit_rejected_total{reason=\"queue_full\"} %d\n", m.rejectedFull)
+	fmt.Fprintf(w, "pcmd_submit_rejected_total{reason=\"draining\"} %d\n", m.rejectedDrain)
+	fmt.Fprintf(w, "# TYPE pcmd_jobs_evicted_total counter\npcmd_jobs_evicted_total %d\n", evicted)
+	fmt.Fprintf(w, "# TYPE pcmd_snapshots_total counter\npcmd_snapshots_total %d\n", m.snapshots)
 	fmt.Fprintf(w, "# TYPE pcmd_cache_hits_total counter\npcmd_cache_hits_total %d\n", m.cacheHits)
 	fmt.Fprintf(w, "# TYPE pcmd_cache_misses_total counter\npcmd_cache_misses_total %d\n", m.cacheMisses)
 	fmt.Fprintf(w, "# TYPE pcmd_cache_entries gauge\npcmd_cache_entries %d\n", cacheLen)

@@ -41,19 +41,29 @@ func newPool(workers, depth int, exec func(*Job)) *pool {
 	return p
 }
 
-// Submit enqueues a job without blocking. It reports false when the queue
-// is full or the pool is closed.
-func (p *pool) Submit(j *Job) bool {
+// submitResult says what happened to a Submit, so the server can tell a
+// transient full queue (back off and retry) from a closed pool (the
+// process is going away) — the two used to share an ambiguous false.
+type submitResult int
+
+const (
+	submitOK        submitResult = iota
+	submitQueueFull              // transient: retry after a backoff
+	submitClosed                 // terminal: the pool is draining
+)
+
+// Submit enqueues a job without blocking and reports the outcome.
+func (p *pool) Submit(j *Job) submitResult {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
-		return false
+		return submitClosed
 	}
 	select {
 	case p.queue <- j:
-		return true
+		return submitOK
 	default:
-		return false
+		return submitQueueFull
 	}
 }
 

@@ -6,20 +6,25 @@
 //
 // Endpoints:
 //
-//	POST /v1/jobs/lifetime             submit a lifetime job
-//	POST /v1/jobs/failure-probability  submit a Fig 9 Monte-Carlo job
-//	POST /v1/jobs/compression          submit a compression sweep job
-//	GET  /v1/jobs/{id}                 poll a job's status and result
-//	GET  /v1/jobs                      list job summaries
-//	GET  /v1/workloads                 list the Table III workload models
-//	GET  /v1/schemes                   list the hard-error schemes
-//	GET  /healthz                      liveness (503 while draining)
-//	GET  /metrics                      Prometheus text metrics
+//	POST   /v1/jobs/lifetime             submit a lifetime job
+//	POST   /v1/jobs/failure-probability  submit a Fig 9 Monte-Carlo job
+//	POST   /v1/jobs/compression          submit a compression sweep job
+//	GET    /v1/jobs/{id}                 poll a job's status and result
+//	DELETE /v1/jobs/{id}                 cancel a queued or running job
+//	GET    /v1/jobs                      list job summaries
+//	GET    /v1/workloads                 list the Table III workload models
+//	GET    /v1/schemes                   list the hard-error schemes
+//	GET    /healthz                      liveness (503 while draining)
+//	GET    /metrics                      Prometheus text metrics
 //
 // Jobs are validated against internal/config scales, hashed (SHA-256 of
 // kind + canonical JSON of the normalized parameters + seed) into the
-// cache, and executed with a per-job context deadline. Shutdown drains:
-// admission stops with 503s while queued and running jobs finish.
+// cache, and executed with a per-job context deadline. Jobs move
+// queued -> running -> done|failed|canceled; the store is bounded (TTL +
+// capacity eviction of terminal jobs) and, with a snapshot path
+// configured, terminal jobs and the result cache survive restarts.
+// Shutdown drains: admission stops with 503s while queued and running
+// jobs finish, then the final snapshot is written.
 package server
 
 import (
@@ -47,6 +52,20 @@ type Config struct {
 	CacheEntries int
 	// JobTimeout is the per-job execution deadline (default 15 minutes).
 	JobTimeout time.Duration
+	// MaxJobs bounds the job store: once exceeded, terminal jobs are
+	// evicted oldest-finished-first (default 4096). Evicted results stay
+	// reachable through the cache under their content address.
+	MaxJobs int
+	// JobTTL is how long a terminal job's handle stays pollable after it
+	// finishes (default 1 hour).
+	JobTTL time.Duration
+	// SnapshotPath, when non-empty, enables crash-safe persistence: the
+	// terminal jobs and result cache are restored from this file on
+	// startup and written back periodically and on shutdown.
+	SnapshotPath string
+	// SnapshotInterval is the cadence of periodic snapshots (default 1
+	// minute; only meaningful with SnapshotPath set).
+	SnapshotInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -61,6 +80,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobTimeout <= 0 {
 		c.JobTimeout = 15 * time.Minute
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = time.Hour
+	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = time.Minute
 	}
 	return c
 }
@@ -78,20 +106,30 @@ type Server struct {
 	jobCtx     context.Context
 	cancelJobs context.CancelFunc
 	drain      chan struct{} // closed when draining begins
+	hkStop     chan struct{} // closed to stop the housekeeping loop
+	hkDone     chan struct{} // closed when the housekeeping loop exits
+	restoreErr error         // startup snapshot problem, if any
 }
 
-// New builds the service and starts its worker pool.
+// New builds the service and starts its worker pool. When a snapshot path
+// is configured, the previous run's terminal jobs and result cache are
+// restored before the first request is served; a corrupt or
+// version-mismatched snapshot is refused and reported by RestoreError.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
-		store:   newStore(),
+		store:   newStore(cfg.MaxJobs, cfg.JobTTL),
 		cache:   newResultCache(cfg.CacheEntries),
 		metrics: newMetrics(),
 		drain:   make(chan struct{}),
+		hkStop:  make(chan struct{}),
+		hkDone:  make(chan struct{}),
 	}
+	s.restoreErr = s.loadSnapshot()
 	s.jobCtx, s.cancelJobs = context.WithCancel(context.Background())
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.execute)
+	go s.housekeeping()
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs/lifetime", s.submitHandler(KindLifetime,
@@ -101,6 +139,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/jobs/compression", s.submitHandler(KindCompression,
 		func() params { return &CompressionParams{} }))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
@@ -108,6 +147,44 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
 	return s
+}
+
+// RestoreError reports what went wrong restoring the startup snapshot, or
+// nil if there was no snapshot or it loaded cleanly. The server is usable
+// either way — a refused snapshot just means an empty store.
+func (s *Server) RestoreError() error { return s.restoreErr }
+
+// housekeeping is the background loop behind the store bounds and the
+// snapshot cadence: every tick it TTL-sweeps terminal jobs and, when
+// persistence is on, writes a snapshot. It exits when Shutdown begins
+// (Shutdown writes the final snapshot itself, after the drain).
+func (s *Server) housekeeping() {
+	defer close(s.hkDone)
+	// Sweep often enough that a TTL expiry is observed promptly even when
+	// the TTL is much shorter than the snapshot interval (tests use
+	// millisecond TTLs).
+	interval := s.cfg.SnapshotInterval
+	if s.cfg.JobTTL/4 < interval {
+		interval = s.cfg.JobTTL / 4
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-s.hkStop:
+			return
+		case now := <-ticker.C:
+			s.store.sweep(now)
+			if s.cfg.SnapshotPath != "" && now.Sub(last) >= s.cfg.SnapshotInterval {
+				last = now
+				_ = s.SaveSnapshot() // a failed periodic write retries next tick
+			}
+		}
+	}
 }
 
 // ServeHTTP dispatches to the service mux.
@@ -125,27 +202,46 @@ func (s *Server) draining() bool {
 
 // Shutdown drains the service: new submissions are rejected with 503,
 // queued and running jobs finish, and the call returns once the pool is
-// idle. If the context expires first, running jobs are cancelled through
-// their contexts and Shutdown waits for them to unwind before returning
-// the context's error. Idempotent is not required — call once.
+// idle and the final snapshot (when configured) is on disk. If the
+// context expires first, running jobs are cancelled through their
+// contexts and Shutdown waits for them to unwind before returning the
+// context's error — the snapshot is still written, capturing everything
+// that finished. Idempotent is not required — call once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	close(s.drain)
+	close(s.hkStop)
 	s.pool.Close()
-	if err := s.pool.Wait(ctx); err != nil {
+	drainErr := s.pool.Wait(ctx)
+	if drainErr != nil {
 		s.cancelJobs()
 		_ = s.pool.Wait(context.Background())
+	}
+	<-s.hkDone
+	if err := s.SaveSnapshot(); err != nil && drainErr == nil {
 		return err
 	}
-	return nil
+	return drainErr
 }
 
-// execute runs one job on a pool worker under the per-job deadline.
+// execute runs one job on a pool worker under the per-job deadline. The
+// job's context is cancelable two ways — the deadline (timeout -> failed)
+// and DELETE /v1/jobs/{id} (errJobCanceled cause -> canceled) — and both
+// unwind through the simulation's own context polls (lifetime.RunContext
+// checks every CheckEvery writes, montecarlo every few thousand trials),
+// so a canceled job frees its worker mid-run.
 func (s *Server) execute(j *Job) {
 	start := time.Now()
-	s.store.setRunning(j, start)
+	tctx, cancelTimeout := context.WithTimeout(s.jobCtx, s.cfg.JobTimeout)
+	defer cancelTimeout()
+	ctx, cancelCause := context.WithCancelCause(tctx)
+	defer cancelCause(nil)
+
+	if !s.store.claimRunning(j, cancelCause, start) {
+		// Canceled while queued: skip without running.
+		s.metrics.jobSkipped(j.Kind)
+		return
+	}
 	s.metrics.jobStarted()
-	ctx, cancel := context.WithTimeout(s.jobCtx, s.cfg.JobTimeout)
-	defer cancel()
 
 	result, err := j.run.run(ctx)
 	finished := time.Now()
@@ -154,13 +250,21 @@ func (s *Server) execute(j *Job) {
 		buf, err = json.Marshal(result)
 	}
 	if err != nil {
+		if errors.Is(context.Cause(ctx), errJobCanceled) {
+			s.store.setCanceled(j, finished)
+			s.metrics.jobFinished(j.Kind, outcomeCanceled, finished.Sub(start))
+			return
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			err = fmt.Errorf("job exceeded the %s execution deadline", s.cfg.JobTimeout)
+		}
 		s.store.setFailed(j, err, finished)
-		s.metrics.jobFinished(j.Kind, false, finished.Sub(start))
+		s.metrics.jobFinished(j.Kind, outcomeFailed, finished.Sub(start))
 		return
 	}
 	s.cache.Put(j.CacheKey, buf)
 	s.store.setDone(j, buf, finished)
-	s.metrics.jobFinished(j.Kind, true, finished.Sub(start))
+	s.metrics.jobFinished(j.Kind, outcomeDone, finished.Sub(start))
 }
 
 // submitHandler builds the POST handler for one job kind.
@@ -195,14 +299,46 @@ func (s *Server) submitHandler(kind Kind, newParams func() params) http.HandlerF
 			writeJSON(w, http.StatusOK, snap)
 			return
 		}
-		if !s.pool.Submit(j) {
+		switch res := s.pool.Submit(j); res {
+		case submitQueueFull:
+			// Transient: the client should back off and retry.
 			s.store.setFailed(j, errors.New("job queue full"), now)
+			s.metrics.jobRejected(res)
+			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable, "job queue full, retry later")
+			return
+		case submitClosed:
+			// Terminal for this process: the pool is draining for shutdown.
+			s.store.setFailed(j, errors.New("server is draining"), now)
+			s.metrics.jobRejected(res)
+			writeError(w, http.StatusServiceUnavailable, "server is draining")
 			return
 		}
 		s.metrics.jobQueued()
 		snap, _ := s.store.get(j.ID)
 		writeJSON(w, http.StatusAccepted, snap)
+	}
+}
+
+// handleCancelJob implements DELETE /v1/jobs/{id}. A queued job flips to
+// canceled immediately (200); a running job gets its context canceled and
+// the response is 202 — the state transition lands when the simulation
+// unwinds, within one context-poll interval. Canceling an already-terminal
+// job is a 409.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	snap, outcome := s.store.cancel(r.PathValue("id"), time.Now())
+	switch outcome {
+	case cancelUnknown:
+		writeError(w, http.StatusNotFound, "no such job")
+	case cancelQueued:
+		// Accounting happens when the worker dequeues and skips it
+		// (metrics.jobSkipped), so the canceled counter moves once.
+		writeJSON(w, http.StatusOK, snap)
+	case cancelRunning:
+		writeJSON(w, http.StatusAccepted, snap)
+	default:
+		writeError(w, http.StatusConflict,
+			fmt.Sprintf("job is already %s", snap.State))
 	}
 }
 
@@ -278,7 +414,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WriteTo(w, s.cache.Len())
+	s.metrics.WriteTo(w, s.cache.Len(), s.store.size(), s.store.evictedCount())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -388,7 +388,7 @@ func TestServerQueueFull(t *testing.T) {
 
 	// First blocker occupies the worker...
 	j1 := s.store.add(KindLifetime, &blockParams{release: release}, "0000000000000001", time.Now())
-	if !s.pool.Submit(j1) {
+	if s.pool.Submit(j1) != submitOK {
 		t.Fatal("first blocker rejected")
 	}
 	for {
@@ -399,7 +399,7 @@ func TestServerQueueFull(t *testing.T) {
 	}
 	// ...the second fills the queue slot...
 	j2 := s.store.add(KindLifetime, &blockParams{release: release}, "0000000000000002", time.Now())
-	if !s.pool.Submit(j2) {
+	if s.pool.Submit(j2) != submitOK {
 		t.Fatal("second blocker rejected")
 	}
 	// ...so a real submission must bounce.

@@ -84,8 +84,15 @@ func (h *Histogram) Add(v int) {
 	h.total++
 }
 
-// Count returns the number of observations in bucket v.
-func (h *Histogram) Count(v int) int64 { return h.counts[v] }
+// Count returns the number of observations in bucket v, or 0 when v is
+// outside [0, Buckets()) — Add clamps out-of-range values into the edge
+// buckets, so an out-of-range query means "no bucket", not a panic.
+func (h *Histogram) Count(v int) int64 {
+	if v < 0 || v >= len(h.counts) {
+		return 0
+	}
+	return h.counts[v]
+}
 
 // Total returns the total number of observations.
 func (h *Histogram) Total() int64 { return h.total }
@@ -105,9 +112,10 @@ func (h *Histogram) Mean() float64 {
 	return sum / float64(h.total)
 }
 
-// CDF returns the fraction of observations with value <= v.
+// CDF returns the fraction of observations with value <= v: 0 below the
+// first bucket, 1 at or above the last.
 func (h *Histogram) CDF(v int) float64 {
-	if h.total == 0 {
+	if h.total == 0 || v < 0 {
 		return 0
 	}
 	if v >= len(h.counts) {
@@ -159,12 +167,23 @@ func (e *ECDF) At(x float64) float64 {
 	return float64(i) / float64(len(e.sorted))
 }
 
-// Quantile returns the p-th quantile for p in [0, 1].
+// Quantile returns the p-th quantile using the same nearest-rank (ceil)
+// convention as Histogram.Percentile, so the two agree on identical data.
+// p is clamped into [0, 1]; out-of-range requests return the extremes
+// rather than panicking.
 func (e *ECDF) Quantile(p float64) float64 {
 	if len(e.sorted) == 0 {
 		return 0
 	}
-	i := int(p * float64(len(e.sorted)-1))
+	if p < 0 || math.IsNaN(p) {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	i := int(math.Ceil(p*float64(len(e.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
 	return e.sorted[i]
 }
 

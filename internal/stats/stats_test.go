@@ -101,6 +101,30 @@ func TestHistogramClamping(t *testing.T) {
 	}
 }
 
+// TestHistogramOutOfRangeQueries covers the inputs that used to panic with
+// an index-out-of-range: Add clamps, so Count/CDF must tolerate the same
+// out-of-range values instead of indexing with them.
+func TestHistogramOutOfRangeQueries(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(0)
+	h.Add(3)
+	if got := h.Count(-1); got != 0 {
+		t.Errorf("Count(-1) = %d, want 0", got)
+	}
+	if got := h.Count(4); got != 0 {
+		t.Errorf("Count(Buckets()) = %d, want 0", got)
+	}
+	if got := h.Count(100); got != 0 {
+		t.Errorf("Count(100) = %d, want 0", got)
+	}
+	if got := h.CDF(-1); got != 0 {
+		t.Errorf("CDF(-1) = %v, want 0", got)
+	}
+	if got := h.CDF(100); got != 1 {
+		t.Errorf("CDF(100) = %v, want 1", got)
+	}
+}
+
 func TestHistogramMean(t *testing.T) {
 	h := NewHistogram(8)
 	h.Add(2)
@@ -131,6 +155,35 @@ func TestECDF(t *testing.T) {
 	}
 	if q := e.Quantile(1); q != 4 {
 		t.Errorf("Quantile(1) = %v", q)
+	}
+}
+
+// TestECDFQuantileClamping covers the inputs that used to panic (p > 1
+// walked off the end of sorted; p < 0 indexed negatively) and checks the
+// nearest-rank convention matches Histogram.Percentile on identical data.
+func TestECDFQuantileClamping(t *testing.T) {
+	e := NewECDF([]float64{3, 1, 2, 4})
+	for _, tc := range []struct{ p, want float64 }{
+		{-0.5, 1}, {-1e9, 1}, {math.Inf(-1), 1}, {math.NaN(), 1},
+		{1.5, 4}, {1e9, 4}, {math.Inf(1), 4},
+	} {
+		if got := e.Quantile(tc.p); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+
+	// Same data in both structures: the integer samples double as bucket
+	// values, so Quantile and Percentile must pick the same rank.
+	samples := []float64{0, 1, 1, 2, 3, 3, 3, 5}
+	e = NewECDF(samples)
+	h := NewHistogram(8)
+	for _, v := range samples {
+		h.Add(int(v))
+	}
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0} {
+		if got, want := e.Quantile(p), float64(h.Percentile(p)); got != want {
+			t.Errorf("Quantile(%v) = %v, Percentile(%v) = %v — conventions diverge", p, got, p, want)
+		}
 	}
 }
 
