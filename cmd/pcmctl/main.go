@@ -1,0 +1,199 @@
+// Command pcmctl drives a pcmd fleet from the terminal. Its main job is
+// distributed sweeps: it embeds the same internal/cluster coordinator that
+// pcmd's /v1/sweeps endpoint uses, so a workstation can shard a
+// seed-swept experiment across backends directly — no coordinator daemon
+// required — and still get the bit-identical merged result.
+//
+// Usage:
+//
+//	pcmctl sweep -kind lifetime -params '{"app":"milc","scale":"quick"}' \
+//	       -seeds 8 [-seed-start 1] \
+//	       -peers http://b1:8080,http://b2:8080 | -local \
+//	       [-retries 2] [-hedge-after 30s] [-shard-timeout 15m] [-concurrency N]
+//	pcmctl jobs -server http://b1:8080 [-state running] [-limit 100] [-offset 0]
+//	pcmctl cancel -server http://b1:8080 -id j000001-abcd1234
+//
+// sweep prints shard progress to stderr and the merged sweep result as
+// JSON on stdout. With -local (or no -peers) shards execute in-process on
+// a loopback backend — handy for smoke tests and for pinning that a
+// distributed run merges to exactly the local answer.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pcmcomp/internal/cluster"
+	"pcmcomp/internal/pcmclient"
+	"pcmcomp/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pcmctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: pcmctl <sweep|jobs|cancel> [flags] (see -h of each subcommand)")
+	}
+	switch args[0] {
+	case "sweep":
+		return runSweep(ctx, args[1:], stdout, stderr)
+	case "jobs":
+		return runJobs(ctx, args[1:], stdout)
+	case "cancel":
+		return runCancel(ctx, args[1:], stdout)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want sweep, jobs, or cancel)", args[0])
+	}
+}
+
+// splitPeers parses a comma-separated peer list.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pcmctl sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	kind := fs.String("kind", "", "job kind: lifetime, failure-probability, or compression")
+	paramsJSON := fs.String("params", "{}", "base job parameters as JSON (seed is set per shard)")
+	seedStart := fs.Uint64("seed-start", 1, "first seed")
+	seeds := fs.Int("seeds", 1, "number of consecutive seeds (= shard count)")
+	peers := fs.String("peers", "", "comma-separated pcmd base URLs to shard across")
+	local := fs.Bool("local", false, "run shards in-process instead of against peers")
+	retries := fs.Int("retries", 2, "per-shard re-dispatch budget")
+	hedgeAfter := fs.Duration("hedge-after", 30*time.Second, "straggler hedging delay (0 disables)")
+	shardTimeout := fs.Duration("shard-timeout", 15*time.Minute, "per-attempt shard deadline")
+	concurrency := fs.Int("concurrency", 0, "max shards in flight (0 = 2 x backends)")
+	quiet := fs.Bool("quiet", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var params map[string]any
+	if err := json.Unmarshal([]byte(*paramsJSON), &params); err != nil {
+		return fmt.Errorf("-params is not a JSON object: %w", err)
+	}
+	req := cluster.SweepRequest{
+		Kind:      *kind,
+		Params:    params,
+		SeedStart: *seedStart,
+		SeedCount: *seeds,
+	}
+	if err := req.Normalize(); err != nil {
+		return err
+	}
+
+	var backends []cluster.Backend
+	peerList := splitPeers(*peers)
+	switch {
+	case *local && len(peerList) > 0:
+		return fmt.Errorf("-local and -peers are mutually exclusive")
+	case len(peerList) > 0:
+		for _, p := range peerList {
+			backends = append(backends, cluster.NewHTTPBackend(p, 1))
+		}
+	default:
+		// Peerless degrades to in-process execution, same as a peerless
+		// pcmd: the loopback backend runs the server's local pipeline.
+		backends = append(backends, cluster.NewLoopback("local", 1,
+			func(ctx context.Context, kind string, params json.RawMessage) (json.RawMessage, error) {
+				return server.ExecuteLocal(ctx, server.Kind(kind), params)
+			}))
+	}
+
+	coord, err := cluster.New(backends, cluster.Options{
+		MaxRetries:   *retries,
+		ShardTimeout: *shardTimeout,
+		HedgeAfter:   *hedgeAfter,
+		Concurrency:  *concurrency,
+	})
+	if err != nil {
+		return err
+	}
+
+	onProgress := func(done, total int) {
+		if !*quiet {
+			fmt.Fprintf(stderr, "\rshards %d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(stderr)
+			}
+		}
+	}
+	start := time.Now()
+	res, err := coord.Sweep(ctx, req, onProgress)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		m := coord.Metrics()
+		fmt.Fprintf(stderr, "merged %d shards in %s (dispatched %d, retries %d, hedges %d, hedge cancels %d)\n",
+			res.SeedCount, time.Since(start).Round(time.Millisecond),
+			m.Dispatched, m.Retries, m.Hedges, m.HedgeCancels)
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+func runJobs(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pcmctl jobs", flag.ContinueOnError)
+	serverURL := fs.String("server", "", "pcmd base URL (required)")
+	state := fs.String("state", "", "filter by state (queued, running, done, failed, canceled)")
+	limit := fs.Int("limit", 100, "page size")
+	offset := fs.Int("offset", 0, "page offset")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *serverURL == "" {
+		return fmt.Errorf("-server is required")
+	}
+	c := pcmclient.New(*serverURL)
+	page, err := c.List(ctx, pcmclient.ListOptions{State: *state, Limit: *limit, Offset: *offset})
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(page)
+}
+
+func runCancel(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pcmctl cancel", flag.ContinueOnError)
+	serverURL := fs.String("server", "", "pcmd base URL (required)")
+	id := fs.String("id", "", "job ID to cancel (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *serverURL == "" || *id == "" {
+		return fmt.Errorf("-server and -id are required")
+	}
+	c := pcmclient.New(*serverURL)
+	j, err := c.Cancel(ctx, *id)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(j)
+}

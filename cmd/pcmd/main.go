@@ -10,6 +10,12 @@
 //	     [-job-timeout 15m] [-job-ttl 1h] [-max-jobs 4096]
 //	     [-snapshot path.json] [-snapshot-interval 1m]
 //	     [-drain-timeout 30s]
+//	     [-peers http://b1:8080,http://b2:8080] [-sweep-retries 2]
+//	     [-hedge-after 30s] [-health-interval 15s]
+//
+// With -peers, POST /v1/sweeps shards seed sweeps across the listed pcmd
+// backends (coordinator mode); without it, sweeps run on an in-process
+// loopback backend, so a single node still serves the full API.
 //
 // SIGINT/SIGTERM begin a graceful drain: new submissions get 503, running
 // and queued jobs finish (up to -drain-timeout), the final snapshot (when
@@ -28,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -58,8 +65,19 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	snapshot := fs.String("snapshot", "", "crash-safety snapshot file (empty disables persistence)")
 	snapshotInterval := fs.Duration("snapshot-interval", time.Minute, "periodic snapshot cadence")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "shutdown drain deadline")
+	peers := fs.String("peers", "", "comma-separated pcmd base URLs for coordinator mode (empty: sweeps run locally)")
+	sweepRetries := fs.Int("sweep-retries", 2, "per-shard re-dispatch budget for sweeps")
+	hedgeAfter := fs.Duration("hedge-after", 30*time.Second, "straggler-shard hedging delay (negative disables)")
+	healthInterval := fs.Duration("health-interval", 15*time.Second, "peer health-probe cadence")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
 	}
 
 	svc := server.New(server.Config{
@@ -71,6 +89,10 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		MaxJobs:          *maxJobs,
 		SnapshotPath:     *snapshot,
 		SnapshotInterval: *snapshotInterval,
+		Peers:            peerList,
+		SweepRetries:     *sweepRetries,
+		SweepHedgeAfter:  *hedgeAfter,
+		HealthInterval:   *healthInterval,
 	})
 	if err := svc.RestoreError(); err != nil {
 		log.Printf("pcmd: starting with an empty store: %v", err)

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"pcmcomp/internal/pcmclient"
+)
+
+// Backend is one execution target for shards. Implementations must be safe
+// for concurrent RunJob calls, and must abort promptly when the context is
+// canceled — the coordinator relies on that to reclaim hedged duplicates.
+type Backend interface {
+	// Name identifies the backend in metrics and errors.
+	Name() string
+	// Weight is the backend's relative capacity for least-loaded selection
+	// (a weight-2 backend receives ~2x the shards of a weight-1 one).
+	Weight() float64
+	// RunJob executes one job of the given kind and returns its raw result
+	// payload. Cancellation of ctx must stop the work (for a remote
+	// backend, by canceling the submitted job).
+	RunJob(ctx context.Context, kind string, params json.RawMessage) (json.RawMessage, error)
+	// Check probes the backend's health (used by the coordinator's health
+	// loop to close an open circuit).
+	Check(ctx context.Context) error
+}
+
+// RunFunc executes one job in-process; it is the loopback backend's engine.
+// internal/server exports one (ExecuteLocal) so a peerless pcmd degrades to
+// local execution, and tests substitute fakes.
+type RunFunc func(ctx context.Context, kind string, params json.RawMessage) (json.RawMessage, error)
+
+// Loopback is an in-process backend: shards run in the coordinator's own
+// process through a RunFunc. It is always healthy.
+type Loopback struct {
+	name   string
+	weight float64
+	run    RunFunc
+}
+
+// NewLoopback builds an in-process backend (weight <= 0 selects 1).
+func NewLoopback(name string, weight float64, run RunFunc) *Loopback {
+	if weight <= 0 {
+		weight = 1
+	}
+	return &Loopback{name: name, weight: weight, run: run}
+}
+
+func (l *Loopback) Name() string    { return l.name }
+func (l *Loopback) Weight() float64 { return l.weight }
+
+func (l *Loopback) RunJob(ctx context.Context, kind string, params json.RawMessage) (json.RawMessage, error) {
+	return l.run(ctx, kind, params)
+}
+
+func (l *Loopback) Check(context.Context) error { return nil }
+
+// HTTPBackend runs shards on a remote pcmd daemon: submit, wait, and — when
+// the shard's context is canceled (hedge lost, sweep canceled) — a
+// best-effort DELETE /v1/jobs/{id} so the remote worker is freed instead of
+// burning CPU on a result nobody wants.
+type HTTPBackend struct {
+	// Client is the underlying pcmd client; callers may tune its retry and
+	// poll knobs before the first RunJob.
+	Client *pcmclient.Client
+	name   string
+	weight float64
+}
+
+// NewHTTPBackend builds a backend for the pcmd daemon at baseURL
+// (weight <= 0 selects 1).
+func NewHTTPBackend(baseURL string, weight float64) *HTTPBackend {
+	if weight <= 0 {
+		weight = 1
+	}
+	return &HTTPBackend{Client: pcmclient.New(baseURL), name: baseURL, weight: weight}
+}
+
+func (h *HTTPBackend) Name() string    { return h.name }
+func (h *HTTPBackend) Weight() float64 { return h.weight }
+
+func (h *HTTPBackend) RunJob(ctx context.Context, kind string, params json.RawMessage) (json.RawMessage, error) {
+	j, err := h.Client.Submit(ctx, kind, params)
+	if err != nil {
+		return nil, fmt.Errorf("backend %s: submit: %w", h.name, err)
+	}
+	if !j.Terminal() {
+		j, err = h.Client.Wait(ctx, j.ID)
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			// The coordinator abandoned this attempt; release the remote
+			// job under a fresh context (ours is already dead).
+			h.cancelJob(j)
+		}
+		return nil, fmt.Errorf("backend %s: %w", h.name, err)
+	}
+	if j.State != pcmclient.StateDone {
+		return nil, fmt.Errorf("backend %s: %w", h.name, &pcmclient.JobFailed{Job: *j})
+	}
+	return j.Result, nil
+}
+
+// cancelJob best-effort-DELETEs an abandoned job.
+func (h *HTTPBackend) cancelJob(j *pcmclient.Job) {
+	if j == nil || j.ID == "" {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, _ = h.Client.Cancel(ctx, j.ID)
+}
+
+func (h *HTTPBackend) Check(ctx context.Context) error {
+	return h.Client.Health(ctx)
+}

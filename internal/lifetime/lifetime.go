@@ -37,6 +37,11 @@ type Config struct {
 	// CheckEvery sets how many demand writes pass between dead-fraction
 	// checks (0 = default 1024).
 	CheckEvery int
+	// OnProgress, when non-nil, is invoked with the demand-write count at
+	// the dead-fraction-check cadence (every CheckEvery writes) and once
+	// more when the run stops. It runs on the simulation goroutine, so it
+	// must be cheap — an atomic store, not a lock.
+	OnProgress func(demandWrites uint64)
 }
 
 // DefaultConfig returns a lifetime configuration for the given system on a
@@ -121,6 +126,9 @@ func RunContext(ctx context.Context, cfg Config, events []trace.Event) (Result, 
 	snapshot := func(res *Result) {
 		res.FinalDeadFraction = ctrl.DeadFraction()
 		res.Stats = ctrl.Stats()
+		if cfg.OnProgress != nil {
+			cfg.OnProgress(res.DemandWrites)
+		}
 	}
 
 	var res Result
@@ -131,6 +139,9 @@ func RunContext(ctx context.Context, cfg Config, events []trace.Event) (Result, 
 			ctrl.Write(addr, &events[i].Data)
 			res.DemandWrites++
 			if res.DemandWrites%uint64(checkEvery) == 0 {
+				if cfg.OnProgress != nil {
+					cfg.OnProgress(res.DemandWrites)
+				}
 				if ctrl.DeadFraction() >= cfg.FailureFraction {
 					res.Failed = true
 					snapshot(&res)

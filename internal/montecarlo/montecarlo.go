@@ -124,6 +124,14 @@ func Curve(scheme ecc.Scheme, windowBytes, maxErrors, trials int, seed uint64) (
 // points computed so far (a prefix of the curve, possibly empty) together
 // with ctx.Err(), so callers can report partial progress.
 func CurveContext(ctx context.Context, scheme ecc.Scheme, windowBytes, maxErrors, trials int, seed uint64) ([]float64, error) {
+	return CurveContextProgress(ctx, scheme, windowBytes, maxErrors, trials, seed, nil)
+}
+
+// CurveContextProgress is CurveContext with a per-point progress callback:
+// onPoint(done, total) fires after each of the total=maxErrors curve points
+// completes, on the computing goroutine (keep it cheap — an atomic store).
+// The estimates are identical to CurveContext's; the callback only observes.
+func CurveContextProgress(ctx context.Context, scheme ecc.Scheme, windowBytes, maxErrors, trials int, seed uint64, onPoint func(done, total int)) ([]float64, error) {
 	out := make([]float64, 0, maxErrors)
 	for e := 1; e <= maxErrors; e++ {
 		p, err := FailureProbabilityContext(ctx, Config{
@@ -137,6 +145,9 @@ func CurveContext(ctx context.Context, scheme ecc.Scheme, windowBytes, maxErrors
 			return nil, err
 		}
 		out = append(out, p)
+		if onPoint != nil {
+			onPoint(e, maxErrors)
+		}
 	}
 	return out, nil
 }

@@ -20,10 +20,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand/v2"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -75,15 +77,29 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("pcmd: %d: %s", e.StatusCode, e.Message)
 }
 
+// ErrJobFailed is the sentinel matched by errors.Is when a job reached
+// failed or canceled instead of done. The concrete error is *JobFailed,
+// which carries the job document — including the server's terminal error
+// body — for callers that need more than a yes/no.
+var ErrJobFailed = errors.New("pcmd: job did not complete")
+
 // JobFailed is returned by Wait/Run when the job reached failed or
-// canceled instead of done.
+// canceled instead of done. Job.Error holds the server's terminal error
+// body (the reason the simulation failed, or the cancellation cause).
 type JobFailed struct {
 	Job Job
 }
 
 func (e *JobFailed) Error() string {
-	return fmt.Sprintf("pcmd: job %s %s: %s", e.Job.ID, e.Job.State, e.Job.Error)
+	msg := e.Job.Error
+	if msg == "" {
+		msg = "(no error body)"
+	}
+	return fmt.Sprintf("pcmd: job %s %s: %s", e.Job.ID, e.Job.State, msg)
 }
+
+// Is lets errors.Is(err, ErrJobFailed) match without losing the job body.
+func (e *JobFailed) Is(target error) bool { return target == ErrJobFailed }
 
 // Client talks to one pcmd instance. The zero value is not usable; create
 // with New and adjust the exported knobs before the first call.
@@ -132,6 +148,13 @@ func (c *Client) backoff(attempt int) time.Duration {
 }
 
 func (c *Client) doSleep(ctx context.Context, d time.Duration) error {
+	// Check cancellation before arming the timer: with a short (or zero)
+	// jittered delay and an already-canceled context, the select below
+	// races two ready channels and can let a canceled Wait finish the
+	// pending sleep — and another poll — before noticing.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if c.sleep != nil {
 		return c.sleep(ctx, d)
 	}
@@ -317,6 +340,84 @@ func (c *Client) Wait(ctx context.Context, id string) (*Job, error) {
 			return nil, err
 		}
 	}
+}
+
+// Health probes GET /healthz with a single attempt — no retries, so a
+// draining or dead daemon is reported immediately (cluster health checks
+// must observe failure fast, not mask it with backoff).
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	httpc := c.HTTPClient
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	buf, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return &APIError{StatusCode: resp.StatusCode, Message: errorMessage(buf)}
+	}
+	return nil
+}
+
+// ListOptions filter GET /v1/jobs.
+type ListOptions struct {
+	// State restricts the listing to one lifecycle state (empty = all).
+	State string
+	// Limit bounds the page size (0 = server default).
+	Limit int
+	// Offset skips that many jobs in creation order.
+	Offset int
+}
+
+// JobSummary is one row of the job listing (no params or result payload).
+type JobSummary struct {
+	ID       string     `json:"id"`
+	Kind     string     `json:"kind"`
+	State    string     `json:"state"`
+	CacheHit bool       `json:"cache_hit"`
+	Created  time.Time  `json:"created"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Error    string     `json:"error,omitempty"`
+}
+
+// JobList is one page of the job listing.
+type JobList struct {
+	Jobs []JobSummary `json:"jobs"`
+	// Total is the number of jobs matching the filter, across all pages.
+	Total int `json:"total"`
+	// Offset echoes the request; NextOffset is set when more pages remain.
+	Offset     int  `json:"offset"`
+	NextOffset *int `json:"next_offset,omitempty"`
+}
+
+// List fetches one page of the server's job listing.
+func (c *Client) List(ctx context.Context, opts ListOptions) (*JobList, error) {
+	q := url.Values{}
+	if opts.State != "" {
+		q.Set("state", opts.State)
+	}
+	if opts.Limit > 0 {
+		q.Set("limit", strconv.Itoa(opts.Limit))
+	}
+	if opts.Offset > 0 {
+		q.Set("offset", strconv.Itoa(opts.Offset))
+	}
+	path := "/v1/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out JobList
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Run submits a job and waits for its result.

@@ -4,13 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
-
-	"pcmcomp/internal/server"
 )
 
 // newFlaky returns a test server that answers 503 (with the given
@@ -140,77 +141,153 @@ func TestNoRetryOn4xx(t *testing.T) {
 	}
 }
 
-// TestClientEndToEnd drives the real service through the client: run a
-// job to completion, hit the cache, and cancel a long job mid-run.
-func TestClientEndToEnd(t *testing.T) {
-	s := server.New(server.Config{Workers: 1, QueueDepth: 8, JobTimeout: 10 * time.Minute})
-	ts := httptest.NewServer(s)
-	defer ts.Close()
-	defer func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
-		if err := s.Shutdown(ctx); err != nil {
-			t.Errorf("drain: %v", err)
+// TestBackoffSleepHonorsCanceledContext pins the doSleep fix: with a
+// canceled context the backoff must abort immediately — even for a zero or
+// tiny delay, where Go's select would otherwise pick randomly between the
+// ready timer and the done channel.
+func TestBackoffSleepHonorsCanceledContext(t *testing.T) {
+	c := New("http://unused")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Many iterations so a random-select regression cannot pass by luck.
+	for i := 0; i < 1000; i++ {
+		if err := c.doSleep(ctx, 0); !errors.Is(err, context.Canceled) {
+			t.Fatalf("doSleep(canceled, 0) = %v, want context.Canceled", err)
 		}
+		if err := c.doSleep(ctx, time.Nanosecond); !errors.Is(err, context.Canceled) {
+			t.Fatalf("doSleep(canceled, 1ns) = %v, want context.Canceled", err)
+		}
+	}
+	// A live context cancels a long sleep promptly instead of waiting it out.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	start := time.Now()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel2()
 	}()
+	if err := c.doSleep(ctx2, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("doSleep = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("doSleep held a canceled context for %v", elapsed)
+	}
+}
+
+// TestCancelAbortsMidBackoff checks a retrying call unwinds from inside the
+// real backoff sleep when its context is canceled.
+func TestCancelAbortsMidBackoff(t *testing.T) {
+	ts, _ := newFlaky(1000, "", nil)
+	defer ts.Close()
 
 	c := New(ts.URL)
-	c.PollInterval = 10 * time.Millisecond
-	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
-	defer cancel()
-
-	params := map[string]any{"apps": []string{"milc"}, "scale": "quick"}
-	j, err := c.Run(ctx, KindCompression, params)
-	if err != nil {
-		t.Fatalf("run: %v", err)
-	}
-	if j.State != StateDone || len(j.Result) == 0 {
-		t.Fatalf("job = %+v", j)
-	}
-	var res struct {
-		Apps []struct {
-			App string `json:"app"`
-		} `json:"apps"`
-	}
-	if err := json.Unmarshal(j.Result, &res); err != nil {
-		t.Fatal(err)
-	}
-	if len(res.Apps) != 1 || res.Apps[0].App != "milc" {
-		t.Fatalf("result = %+v", res)
-	}
-
-	// Same params: a born-done cache hit.
-	hit, err := c.Run(ctx, KindCompression, params)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !hit.CacheHit {
-		t.Fatalf("second run not a cache hit: %+v", hit)
-	}
-
-	// Cancel a job that would otherwise run for hours; Wait must surface
-	// the canceled state as a JobFailed.
-	big, err := c.Submit(ctx, KindLifetime,
-		map[string]any{"app": "milc", "scale": "large", "systems": []string{"baseline"}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for {
-		cur, err := c.Poll(ctx, big.ID)
-		if err != nil {
-			t.Fatal(err)
+	c.BaseBackoff = time.Hour // park the retry in its first sleep
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Submit(ctx, KindCompression, nil)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the first 503 land and the sleep start
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
 		}
-		if cur.State == StateRunning {
-			break
+	case <-time.After(10 * time.Second):
+		t.Fatal("Submit stayed parked in backoff after cancel")
+	}
+}
+
+// TestJobFailedErrorsIs pins the sentinel matching and that the message
+// carries the server's terminal error body.
+func TestJobFailedErrorsIs(t *testing.T) {
+	err := fmt.Errorf("backend x: %w", &JobFailed{Job: Job{ID: "j1", State: StateFailed, Error: "sim diverged"}})
+	if !errors.Is(err, ErrJobFailed) {
+		t.Fatal("wrapped JobFailed does not match ErrJobFailed")
+	}
+	var jf *JobFailed
+	if !errors.As(err, &jf) || jf.Job.Error != "sim diverged" {
+		t.Fatalf("errors.As = %+v", jf)
+	}
+	if msg := jf.Error(); !strings.Contains(msg, "sim diverged") {
+		t.Fatalf("JobFailed message %q lacks the server's error body", msg)
+	}
+	empty := &JobFailed{Job: Job{ID: "j2", State: StateCanceled}}
+	if msg := empty.Error(); !strings.Contains(msg, "no error body") {
+		t.Fatalf("JobFailed message %q should note the missing error body", msg)
+	}
+}
+
+// TestListBuildsQueryAndDecodes checks GET /v1/jobs parameter passing and
+// page decoding.
+func TestListBuildsQueryAndDecodes(t *testing.T) {
+	var gotQuery string
+	next := 4
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/jobs" {
+			t.Errorf("path = %s", r.URL.Path)
 		}
-		time.Sleep(5 * time.Millisecond)
+		gotQuery = r.URL.RawQuery
+		json.NewEncoder(w).Encode(JobList{
+			Jobs:       []JobSummary{{ID: "j1", State: StateDone}, {ID: "j2", State: StateDone}},
+			Total:      6,
+			Offset:     2,
+			NextOffset: &next,
+		})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	page, err := c.List(context.Background(), ListOptions{State: "done", Limit: 2, Offset: 2})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := c.Cancel(ctx, big.ID); err != nil {
-		t.Fatalf("cancel: %v", err)
+	q, err := url.ParseQuery(gotQuery)
+	if err != nil {
+		t.Fatal(err)
 	}
-	_, err = c.Wait(ctx, big.ID)
-	var failed *JobFailed
-	if !errors.As(err, &failed) || failed.Job.State != StateCanceled {
-		t.Fatalf("wait after cancel = %v, want canceled JobFailed", err)
+	if q.Get("state") != "done" || q.Get("limit") != "2" || q.Get("offset") != "2" {
+		t.Fatalf("query = %q", gotQuery)
+	}
+	if len(page.Jobs) != 2 || page.Total != 6 || page.NextOffset == nil || *page.NextOffset != 4 {
+		t.Fatalf("page = %+v", page)
+	}
+
+	// Zero options add no query parameters at all.
+	if _, err := c.List(context.Background(), ListOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if gotQuery != "" {
+		t.Fatalf("zero-options query = %q, want empty", gotQuery)
+	}
+}
+
+// TestHealth checks the probe's happy path and its non-200 classification.
+func TestHealth(t *testing.T) {
+	healthy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			t.Errorf("path = %s", r.URL.Path)
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer healthy.Close()
+	if err := New(healthy.URL).Health(context.Background()); err != nil {
+		t.Fatalf("healthy probe: %v", err)
+	}
+
+	var calls atomic.Int64
+	sick := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer sick.Close()
+	err := New(sick.URL).Health(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("sick probe err = %v, want 503 APIError", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("health probe retried: %d calls, want 1 (probes must be point-in-time)", calls.Load())
 	}
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"container/list"
 	"context"
 	"crypto/sha256"
@@ -9,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pcmcomp/internal/block"
@@ -62,8 +64,82 @@ type params interface {
 	// normalize applies defaults and validates; the returned error text is
 	// sent to the client verbatim with a 400 status.
 	normalize() error
-	// run executes the computation and returns a JSON-serializable result.
-	run(ctx context.Context) (any, error)
+	// run executes the computation and returns a JSON-serializable result,
+	// publishing progress through pr as it goes.
+	run(ctx context.Context, pr *jobProgress) (any, error)
+}
+
+// paramsFor builds the empty parameter struct for each job kind; it is the
+// single registry behind the POST handlers and ExecuteLocal.
+var paramsFor = map[Kind]func() params{
+	KindLifetime:           func() params { return &LifetimeParams{} },
+	KindFailureProbability: func() params { return &FailureProbabilityParams{} },
+	KindCompression:        func() params { return &CompressionParams{} },
+}
+
+// jobProgress is a job's live progress meter, written atomically by the
+// worker goroutine at the simulation's own check cadence and read by
+// GET /v1/jobs/{id} snapshots without locking.
+type jobProgress struct {
+	done  atomic.Uint64
+	total atomic.Uint64
+}
+
+// set publishes the current done/total pair (total 0 = unknown).
+func (p *jobProgress) set(done, total uint64) {
+	p.total.Store(total)
+	p.done.Store(done)
+}
+
+// Progress is the client-visible snapshot of a running job's progress. The
+// unit depends on the kind: demand writes for lifetime, Monte-Carlo trials
+// for failure-probability, trace events for compression. Total is 0 when
+// the endpoint is unknown (a lifetime run without a write cap stops at the
+// failure criterion, not at a predictable count).
+type Progress struct {
+	Done  uint64 `json:"done"`
+	Total uint64 `json:"total,omitempty"`
+}
+
+// snapshot returns the meter's current value, or nil if nothing has been
+// reported yet.
+func (p *jobProgress) snapshot() *Progress {
+	if p == nil {
+		return nil
+	}
+	done, total := p.done.Load(), p.total.Load()
+	if done == 0 && total == 0 {
+		return nil
+	}
+	return &Progress{Done: done, Total: total}
+}
+
+// ExecuteLocal runs one job synchronously in-process: decode, normalize,
+// run, marshal — the same pipeline a POST + worker would apply, minus the
+// queue and the store. It is the loopback backend a peerless pcmd (and
+// pcmctl -local) hands to the cluster coordinator, so a sweep degrades
+// gracefully to local execution with bit-identical results.
+func ExecuteLocal(ctx context.Context, kind Kind, raw json.RawMessage) (json.RawMessage, error) {
+	factory, ok := paramsFor[kind]
+	if !ok {
+		return nil, fmt.Errorf("unknown job kind %q", kind)
+	}
+	p := factory()
+	if len(raw) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("invalid params: %w", err)
+		}
+	}
+	if err := p.normalize(); err != nil {
+		return nil, err
+	}
+	result, err := p.run(ctx, &jobProgress{})
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(result)
 }
 
 // cacheKey derives the content address of a job: the SHA-256 of the kind
@@ -97,8 +173,14 @@ type Job struct {
 	Params   any             `json:"params"`
 	Result   json.RawMessage `json:"result,omitempty"`
 	Error    string          `json:"error,omitempty"`
+	// Progress is filled on snapshots of running jobs from the live meter;
+	// it is never persisted (a restored terminal job has its result).
+	Progress *Progress `json:"progress,omitempty"`
 
 	run params
+	// progress is the live meter the worker writes through; shared by
+	// every snapshot of this job.
+	progress *jobProgress
 	// cancel aborts the running job's context with errJobCanceled; set by
 	// claimRunning, nil outside the running state.
 	cancel context.CancelCauseFunc
@@ -214,7 +296,7 @@ func (s *store) restore(jobs []Job, seq uint64) {
 		if _, exists := s.jobs[j.ID]; exists {
 			continue
 		}
-		j.run, j.cancel, j.elem = nil, nil, nil
+		j.run, j.cancel, j.elem, j.progress, j.Progress = nil, nil, nil, nil, nil
 		cp := j
 		s.jobs[cp.ID] = &cp
 		s.markTerminal(&cp)
@@ -235,6 +317,7 @@ func (s *store) add(kind Kind, p params, key string, now time.Time) *Job {
 		Created:  now,
 		Params:   p,
 		run:      p,
+		progress: &jobProgress{},
 	}
 	s.jobs[j.ID] = j
 	return j
@@ -249,7 +332,11 @@ func (s *store) get(id string) (Job, bool) {
 	if !ok {
 		return Job{}, false
 	}
-	return *j, true
+	cp := *j
+	if cp.State == StateRunning {
+		cp.Progress = j.progress.snapshot()
+	}
+	return cp, true
 }
 
 // list returns snapshots of every job, unordered.
@@ -450,7 +537,7 @@ type LifetimeResult struct {
 	Systems []LifetimeSystemResult `json:"systems"`
 }
 
-func (p *LifetimeParams) run(ctx context.Context) (any, error) {
+func (p *LifetimeParams) run(ctx context.Context, pr *jobProgress) (any, error) {
 	scale, err := config.ByName(p.Scale)
 	if err != nil {
 		return nil, err
@@ -466,8 +553,16 @@ func (p *LifetimeParams) run(ctx context.Context) (any, error) {
 	events := gen.GenerateTrace(scale.TraceEvents)
 	tm := lifetime.DefaultTimeModel(prof.WPKI, scale.EnduranceScale(), scale.CapacityScale())
 
+	// Progress unit: demand writes across all requested systems. The total
+	// is only knowable when a write cap bounds each run.
+	var progressTotal uint64
+	if p.MaxDemandWrites > 0 {
+		progressTotal = p.MaxDemandWrites * uint64(len(p.Systems))
+	}
+
 	out := LifetimeResult{App: p.App, Scale: p.Scale, Seed: p.Seed}
 	var reference uint64
+	var writesDone uint64
 	for i, name := range p.Systems {
 		sys, err := systemByName(name)
 		if err != nil {
@@ -476,10 +571,13 @@ func (p *LifetimeParams) run(ctx context.Context) (any, error) {
 		ctrl := core.DefaultConfig(sys, scale.Substrate(p.Seed))
 		cfg := lifetime.DefaultConfig(ctrl)
 		cfg.MaxDemandWrites = p.MaxDemandWrites
+		base := writesDone
+		cfg.OnProgress = func(dw uint64) { pr.set(base+dw, progressTotal) }
 		res, err := lifetime.RunContext(ctx, cfg, events)
 		if err != nil {
 			return nil, err
 		}
+		writesDone += res.DemandWrites
 		if i == 0 {
 			reference = res.DemandWrites
 		}
@@ -569,12 +667,16 @@ type FailureProbabilityResult struct {
 	TolerableAtHalf int       `json:"tolerable_at_half"`
 }
 
-func (p *FailureProbabilityParams) run(ctx context.Context) (any, error) {
+func (p *FailureProbabilityParams) run(ctx context.Context, pr *jobProgress) (any, error) {
 	scheme, err := experiments.Fig9Scheme(p.Scheme)
 	if err != nil {
 		return nil, err
 	}
-	curve, err := montecarlo.CurveContext(ctx, scheme, p.Window, p.MaxErrors, p.Trials, p.Seed)
+	// Progress unit: Monte-Carlo trials (curve points x trials per point).
+	curve, err := montecarlo.CurveContextProgress(ctx, scheme, p.Window, p.MaxErrors, p.Trials, p.Seed,
+		func(done, total int) {
+			pr.set(uint64(done)*uint64(p.Trials), uint64(total)*uint64(p.Trials))
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -636,13 +738,15 @@ type CompressionResult struct {
 	Average CompressionAppResult   `json:"average"`
 }
 
-func (p *CompressionParams) run(ctx context.Context) (any, error) {
+func (p *CompressionParams) run(ctx context.Context, pr *jobProgress) (any, error) {
 	scale, err := config.ByName(p.Scale)
 	if err != nil {
 		return nil, err
 	}
+	// Progress unit: trace events across all requested apps.
+	progressTotal := uint64(len(p.Apps)) * uint64(scale.TraceEvents)
 	out := CompressionResult{Scale: p.Scale, Seed: p.Seed}
-	for _, app := range p.Apps {
+	for appIdx, app := range p.Apps {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -654,8 +758,12 @@ func (p *CompressionParams) run(ctx context.Context) (any, error) {
 		if err != nil {
 			return nil, err
 		}
+		eventsBase := uint64(appIdx) * uint64(scale.TraceEvents)
 		var bdi, fpc, best, ratio stats.Running
 		for i := 0; i < scale.TraceEvents; i++ {
+			if i%4096 == 0 {
+				pr.set(eventsBase+uint64(i), progressTotal)
+			}
 			ev := g.Next()
 			bdi.Add(float64(compress.CompressBDI(&ev.Data).Size()))
 			fpc.Add(float64(compress.CompressFPC(&ev.Data).Size()))

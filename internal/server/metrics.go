@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"pcmcomp/internal/cluster"
 )
 
 // latencyBuckets are the per-job-kind histogram upper bounds in seconds.
@@ -47,6 +49,11 @@ type metrics struct {
 	rejectedDrain uint64 // submissions refused: pool draining (terminal)
 	snapshots     uint64 // successful snapshot writes
 	latency       map[Kind]*histogram
+
+	sweepsRunning  int64  // gauge: sweeps being coordinated now
+	sweepsDone     uint64 // sweeps merged successfully
+	sweepsFailed   uint64 // sweeps that exhausted shard retries
+	sweepsCanceled uint64 // sweeps canceled by DELETE or shutdown
 }
 
 func newMetrics() *metrics {
@@ -129,6 +136,26 @@ func (m *metrics) snapshotSaved() {
 	m.snapshots++
 }
 
+func (m *metrics) sweepStarted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepsRunning++
+}
+
+func (m *metrics) sweepFinished(err error, canceled bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepsRunning--
+	switch {
+	case canceled:
+		m.sweepsCanceled++
+	case err != nil:
+		m.sweepsFailed++
+	default:
+		m.sweepsDone++
+	}
+}
+
 func (m *metrics) cacheHit() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -184,5 +211,36 @@ func (m *metrics) WriteTo(w io.Writer, cacheLen, storeLen int, evicted uint64) {
 		fmt.Fprintf(w, "pcmd_job_seconds_bucket{kind=%q,le=\"+Inf\"} %d\n", k, h.n)
 		fmt.Fprintf(w, "pcmd_job_seconds_sum{kind=%q} %g\n", k, h.sum)
 		fmt.Fprintf(w, "pcmd_job_seconds_count{kind=%q} %d\n", k, h.n)
+	}
+	fmt.Fprintf(w, "# TYPE pcmd_sweeps_running gauge\npcmd_sweeps_running %d\n", m.sweepsRunning)
+	fmt.Fprintf(w, "# TYPE pcmd_sweeps_total counter\n")
+	fmt.Fprintf(w, "pcmd_sweeps_total{outcome=\"done\"} %d\n", m.sweepsDone)
+	fmt.Fprintf(w, "pcmd_sweeps_total{outcome=\"failed\"} %d\n", m.sweepsFailed)
+	fmt.Fprintf(w, "pcmd_sweeps_total{outcome=\"canceled\"} %d\n", m.sweepsCanceled)
+}
+
+// writeClusterMetrics renders the coordinator's dispatch counters and the
+// per-backend health gauges.
+func writeClusterMetrics(w io.Writer, snap cluster.MetricsSnapshot, backends []cluster.BackendStatus) {
+	fmt.Fprintf(w, "# TYPE pcmd_cluster_dispatch_total counter\npcmd_cluster_dispatch_total %d\n", snap.Dispatched)
+	fmt.Fprintf(w, "# TYPE pcmd_cluster_retry_total counter\npcmd_cluster_retry_total %d\n", snap.Retries)
+	fmt.Fprintf(w, "# TYPE pcmd_cluster_hedge_total counter\npcmd_cluster_hedge_total %d\n", snap.Hedges)
+	fmt.Fprintf(w, "# TYPE pcmd_cluster_hedge_cancel_total counter\npcmd_cluster_hedge_cancel_total %d\n", snap.HedgeCancels)
+	fmt.Fprintf(w, "# TYPE pcmd_cluster_shard_failures_total counter\npcmd_cluster_shard_failures_total %d\n", snap.ShardFailures)
+	fmt.Fprintf(w, "# TYPE pcmd_cluster_breaker_opens_total counter\npcmd_cluster_breaker_opens_total %d\n", snap.BreakerOpens)
+	fmt.Fprintf(w, "# TYPE pcmd_cluster_health_probes_total counter\n")
+	fmt.Fprintf(w, "pcmd_cluster_health_probes_total{outcome=\"ok\"} %d\n", snap.ProbesOK)
+	fmt.Fprintf(w, "pcmd_cluster_health_probes_total{outcome=\"failed\"} %d\n", snap.ProbesFailed)
+	fmt.Fprintf(w, "# TYPE pcmd_cluster_backend_up gauge\n")
+	for _, b := range backends {
+		up := 0
+		if b.Healthy {
+			up = 1
+		}
+		fmt.Fprintf(w, "pcmd_cluster_backend_up{backend=%q} %d\n", b.Name, up)
+	}
+	fmt.Fprintf(w, "# TYPE pcmd_cluster_backend_inflight gauge\n")
+	for _, b := range backends {
+		fmt.Fprintf(w, "pcmd_cluster_backend_inflight{backend=%q} %d\n", b.Name, b.Inflight)
 	}
 }

@@ -9,9 +9,14 @@
 //	POST   /v1/jobs/lifetime             submit a lifetime job
 //	POST   /v1/jobs/failure-probability  submit a Fig 9 Monte-Carlo job
 //	POST   /v1/jobs/compression          submit a compression sweep job
-//	GET    /v1/jobs/{id}                 poll a job's status and result
+//	GET    /v1/jobs/{id}                 poll a job's status, progress, and result
 //	DELETE /v1/jobs/{id}                 cancel a queued or running job
-//	GET    /v1/jobs                      list job summaries
+//	GET    /v1/jobs                      list job summaries (?state=&limit=&offset=)
+//	POST   /v1/sweeps                    submit a seed-sharded distributed sweep
+//	GET    /v1/sweeps/{id}               poll a sweep's shard progress and merged result
+//	GET    /v1/sweeps                    list sweep summaries
+//	DELETE /v1/sweeps/{id}               cancel a running sweep
+//	GET    /v1/backends                  the coordinator's fleet view (health, load)
 //	GET    /v1/workloads                 list the Table III workload models
 //	GET    /v1/schemes                   list the hard-error schemes
 //	GET    /healthz                      liveness (503 while draining)
@@ -35,8 +40,12 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"sort"
+	"strconv"
+	"sync"
 	"time"
 
+	"pcmcomp/internal/cluster"
 	"pcmcomp/internal/workload"
 )
 
@@ -66,6 +75,21 @@ type Config struct {
 	// SnapshotInterval is the cadence of periodic snapshots (default 1
 	// minute; only meaningful with SnapshotPath set).
 	SnapshotInterval time.Duration
+	// Peers lists the base URLs of remote pcmd backends for coordinator
+	// mode: POST /v1/sweeps shards work across them. Empty means local
+	// mode — sweeps run on an in-process loopback backend, so a peerless
+	// pcmd degrades gracefully to single-node execution.
+	Peers []string
+	// SweepRetries bounds per-shard re-dispatches (default 2).
+	SweepRetries int
+	// SweepHedgeAfter is the straggler-shard hedging delay: a shard still
+	// running after this long is duplicated on a second backend and the
+	// first result wins (default 30s with peers; negative disables;
+	// ignored in local mode, where there is no second backend).
+	SweepHedgeAfter time.Duration
+	// HealthInterval is the peer health-probe cadence (default 15s; only
+	// meaningful with peers).
+	HealthInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +114,18 @@ func (c Config) withDefaults() Config {
 	if c.SnapshotInterval <= 0 {
 		c.SnapshotInterval = time.Minute
 	}
+	if c.SweepRetries <= 0 {
+		c.SweepRetries = 2
+	}
+	switch {
+	case c.SweepHedgeAfter == 0:
+		c.SweepHedgeAfter = 30 * time.Second
+	case c.SweepHedgeAfter < 0:
+		c.SweepHedgeAfter = 0 // disabled
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 15 * time.Second
+	}
 	return c
 }
 
@@ -109,6 +145,13 @@ type Server struct {
 	hkStop     chan struct{} // closed to stop the housekeeping loop
 	hkDone     chan struct{} // closed when the housekeeping loop exits
 	restoreErr error         // startup snapshot problem, if any
+
+	// Distributed-sweep coordinator (see internal/cluster): remote peers
+	// in coordinator mode, an in-process loopback backend otherwise.
+	coord      *cluster.Coordinator
+	sweeps     *sweepStore
+	sweepWG    sync.WaitGroup     // running sweep goroutines, for drain
+	stopHealth context.CancelFunc // stops the peer health-probe loop
 }
 
 // New builds the service and starts its worker pool. When a snapshot path
@@ -129,24 +172,63 @@ func New(cfg Config) *Server {
 	s.restoreErr = s.loadSnapshot()
 	s.jobCtx, s.cancelJobs = context.WithCancel(context.Background())
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.execute)
+	s.sweeps = newSweepStore()
+	s.initCoordinator()
 	go s.housekeeping()
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs/lifetime", s.submitHandler(KindLifetime,
-		func() params { return &LifetimeParams{} }))
-	mux.HandleFunc("POST /v1/jobs/failure-probability", s.submitHandler(KindFailureProbability,
-		func() params { return &FailureProbabilityParams{} }))
-	mux.HandleFunc("POST /v1/jobs/compression", s.submitHandler(KindCompression,
-		func() params { return &CompressionParams{} }))
+	mux.HandleFunc("POST /v1/jobs/lifetime", s.submitHandler(KindLifetime))
+	mux.HandleFunc("POST /v1/jobs/failure-probability", s.submitHandler(KindFailureProbability))
+	mux.HandleFunc("POST /v1/jobs/compression", s.submitHandler(KindCompression))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	mux.HandleFunc("GET /v1/sweeps", s.handleListSweeps)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancelSweep)
+	mux.HandleFunc("GET /v1/backends", s.handleBackends)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
 	return s
+}
+
+// initCoordinator builds the sweep coordinator: HTTP backends for the
+// configured peers, or an in-process loopback running ExecuteLocal when
+// there are none. With peers, a health loop probes the fleet so a dead
+// backend is sidelined between sweeps.
+func (s *Server) initCoordinator() {
+	var backends []cluster.Backend
+	hedge := s.cfg.SweepHedgeAfter
+	if len(s.cfg.Peers) > 0 {
+		for _, peer := range s.cfg.Peers {
+			backends = append(backends, cluster.NewHTTPBackend(peer, 1))
+		}
+	} else {
+		backends = append(backends, cluster.NewLoopback("local", 1,
+			func(ctx context.Context, kind string, params json.RawMessage) (json.RawMessage, error) {
+				return ExecuteLocal(ctx, Kind(kind), params)
+			}))
+		hedge = 0 // one backend: nothing to hedge onto
+	}
+	coord, err := cluster.New(backends, cluster.Options{
+		MaxRetries:   s.cfg.SweepRetries,
+		ShardTimeout: s.cfg.JobTimeout,
+		HedgeAfter:   hedge,
+		Concurrency:  max(s.cfg.Workers, 2*len(backends)),
+	})
+	if err != nil {
+		panic(err) // unreachable: backends is never empty
+	}
+	s.coord = coord
+	hctx, cancel := context.WithCancel(context.Background())
+	s.stopHealth = cancel
+	if len(s.cfg.Peers) > 0 {
+		go s.coord.HealthLoop(hctx, s.cfg.HealthInterval)
+	}
 }
 
 // RestoreError reports what went wrong restoring the startup snapshot, or
@@ -210,17 +292,39 @@ func (s *Server) draining() bool {
 func (s *Server) Shutdown(ctx context.Context) error {
 	close(s.drain)
 	close(s.hkStop)
+	s.stopHealth()
 	s.pool.Close()
 	drainErr := s.pool.Wait(ctx)
+	if drainErr == nil {
+		drainErr = s.waitSweeps(ctx)
+	}
 	if drainErr != nil {
 		s.cancelJobs()
 		_ = s.pool.Wait(context.Background())
+		s.sweepWG.Wait()
 	}
 	<-s.hkDone
 	if err := s.SaveSnapshot(); err != nil && drainErr == nil {
 		return err
 	}
 	return drainErr
+}
+
+// waitSweeps blocks until every sweep goroutine has finished or the
+// context expires. Sweeps drain like jobs: submissions already stopped, so
+// the wait is bounded by the shards in flight.
+func (s *Server) waitSweeps(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.sweepWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // execute runs one job on a pool worker under the per-job deadline. The
@@ -243,7 +347,7 @@ func (s *Server) execute(j *Job) {
 	}
 	s.metrics.jobStarted()
 
-	result, err := j.run.run(ctx)
+	result, err := j.run.run(ctx, j.progress)
 	finished := time.Now()
 	var buf json.RawMessage
 	if err == nil {
@@ -268,13 +372,13 @@ func (s *Server) execute(j *Job) {
 }
 
 // submitHandler builds the POST handler for one job kind.
-func (s *Server) submitHandler(kind Kind, newParams func() params) http.HandlerFunc {
+func (s *Server) submitHandler(kind Kind) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.draining() {
 			writeError(w, http.StatusServiceUnavailable, "server is draining")
 			return
 		}
-		p := newParams()
+		p := paramsFor[kind]()
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(p); err != nil && !errors.Is(err, io.EOF) {
@@ -362,16 +466,87 @@ type jobSummary struct {
 	Error    string     `json:"error,omitempty"`
 }
 
-func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
+// Listing pagination bounds.
+const (
+	listDefaultLimit = 100
+	listMaxLimit     = 1000
+)
+
+// handleListJobs implements GET /v1/jobs?state=&limit=&offset=: job
+// summaries in creation order (oldest first), optionally filtered to one
+// lifecycle state, paginated by limit/offset. The response carries the
+// filtered total and, when more pages remain, the next offset — the
+// coordinator and operators page through running jobs without pulling
+// every result payload.
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	stateFilter := State(q.Get("state"))
+	switch stateFilter {
+	case "", StateQueued, StateRunning, StateDone, StateFailed, StateCanceled:
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown state %q (want queued, running, done, failed, or canceled)", stateFilter))
+		return
+	}
+	limit, err := queryInt(q.Get("limit"), listDefaultLimit)
+	if err != nil || limit < 1 {
+		writeError(w, http.StatusBadRequest, "limit must be a positive integer")
+		return
+	}
+	if limit > listMaxLimit {
+		limit = listMaxLimit
+	}
+	offset, err := queryInt(q.Get("offset"), 0)
+	if err != nil || offset < 0 {
+		writeError(w, http.StatusBadRequest, "offset must be a non-negative integer")
+		return
+	}
+
 	jobs := s.store.list()
-	out := make([]jobSummary, 0, len(jobs))
+	// Creation order: the store map is unordered, but IDs embed the
+	// creation sequence; Created-then-ID sorting keeps restored jobs (which
+	// kept their original IDs) stable too.
+	sort.Slice(jobs, func(i, k int) bool {
+		if !jobs[i].Created.Equal(jobs[k].Created) {
+			return jobs[i].Created.Before(jobs[k].Created)
+		}
+		return jobs[i].ID < jobs[k].ID
+	})
+	filtered := jobs[:0]
 	for _, j := range jobs {
+		if stateFilter == "" || j.State == stateFilter {
+			filtered = append(filtered, j)
+		}
+	}
+
+	total := len(filtered)
+	if offset > total {
+		offset = total
+	}
+	end := offset + limit
+	if end > total {
+		end = total
+	}
+	out := make([]jobSummary, 0, end-offset)
+	for _, j := range filtered[offset:end] {
 		out = append(out, jobSummary{
 			ID: j.ID, Kind: j.Kind, State: j.State, CacheHit: j.CacheHit,
 			Created: j.Created, Finished: j.Finished, Error: j.Error,
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+	resp := map[string]any{"jobs": out, "total": total, "offset": offset}
+	if end < total {
+		resp["next_offset"] = end
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// queryInt parses an optional integer query parameter.
+func queryInt(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
@@ -415,6 +590,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WriteTo(w, s.cache.Len(), s.store.size(), s.store.evictedCount())
+	writeClusterMetrics(w, s.coord.Metrics(), s.coord.Backends())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

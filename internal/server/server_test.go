@@ -360,7 +360,7 @@ type blockParams struct {
 }
 
 func (p *blockParams) normalize() error { return nil }
-func (p *blockParams) run(ctx context.Context) (any, error) {
+func (p *blockParams) run(ctx context.Context, _ *jobProgress) (any, error) {
 	select {
 	case <-p.release:
 		return "released", nil

@@ -1,0 +1,332 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"pcmcomp/internal/cluster"
+)
+
+// maxSweeps bounds the sweep registry; terminal sweeps are evicted oldest
+// first beyond it (results stay reachable through the content cache).
+const maxSweeps = 512
+
+// SweepStatus is the client-visible document of one sweep: the request, the
+// shard-level progress, and — once every shard has merged — the result.
+type SweepStatus struct {
+	ID          string               `json:"id"`
+	State       State                `json:"state"`
+	CacheHit    bool                 `json:"cache_hit"`
+	Created     time.Time            `json:"created"`
+	Finished    *time.Time           `json:"finished,omitempty"`
+	Request     cluster.SweepRequest `json:"request"`
+	ShardsDone  int                  `json:"shards_done"`
+	ShardsTotal int                  `json:"shards_total"`
+	Result      json.RawMessage      `json:"result,omitempty"`
+	Error       string               `json:"error,omitempty"`
+}
+
+// sweepJob pairs the document with its cancel handle.
+type sweepJob struct {
+	doc    SweepStatus
+	cancel context.CancelCauseFunc
+}
+
+// sweepStore tracks sweeps, bounded like the job store: terminal sweeps
+// are evicted oldest-finished-first beyond maxSweeps.
+type sweepStore struct {
+	mu     sync.Mutex
+	seq    uint64
+	sweeps map[string]*sweepJob
+	order  []string // insertion order, for eviction scans
+}
+
+func newSweepStore() *sweepStore {
+	return &sweepStore{sweeps: make(map[string]*sweepJob)}
+}
+
+func (s *sweepStore) add(req cluster.SweepRequest, cancel context.CancelCauseFunc, now time.Time) *sweepJob {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	sw := &sweepJob{
+		doc: SweepStatus{
+			ID:          fmt.Sprintf("s%06d", s.seq),
+			State:       StateQueued,
+			Created:     now,
+			Request:     req,
+			ShardsTotal: req.SeedCount,
+		},
+		cancel: cancel,
+	}
+	s.sweeps[sw.doc.ID] = sw
+	s.order = append(s.order, sw.doc.ID)
+	s.evictLocked()
+	return sw
+}
+
+// evictLocked drops the oldest terminal sweeps beyond the bound.
+func (s *sweepStore) evictLocked() {
+	for len(s.sweeps) > maxSweeps {
+		evicted := false
+		for i, id := range s.order {
+			sw, ok := s.sweeps[id]
+			if !ok {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+			if sw.doc.State.Terminal() {
+				delete(s.sweeps, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything live; the bound yields rather than dropping active sweeps
+		}
+	}
+}
+
+func (s *sweepStore) get(id string) (SweepStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	if !ok {
+		return SweepStatus{}, false
+	}
+	return sw.doc, true
+}
+
+// list returns snapshots in creation order.
+func (s *sweepStore) list() []SweepStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SweepStatus, 0, len(s.sweeps))
+	for _, id := range s.order {
+		if sw, ok := s.sweeps[id]; ok {
+			out = append(out, sw.doc)
+		}
+	}
+	return out
+}
+
+func (s *sweepStore) setRunning(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sw, ok := s.sweeps[id]; ok && sw.doc.State == StateQueued {
+		sw.doc.State = StateRunning
+	}
+}
+
+func (s *sweepStore) setProgress(id string, done int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sw, ok := s.sweeps[id]; ok && done > sw.doc.ShardsDone {
+		sw.doc.ShardsDone = done
+	}
+}
+
+func (s *sweepStore) finish(id string, result json.RawMessage, err error, canceled bool, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	if !ok {
+		return
+	}
+	sw.cancel = nil
+	sw.doc.Finished = &now
+	switch {
+	case canceled:
+		sw.doc.State = StateCanceled
+		sw.doc.Error = errJobCanceled.Error()
+	case err != nil:
+		sw.doc.State = StateFailed
+		sw.doc.Error = err.Error()
+	default:
+		sw.doc.State = StateDone
+		sw.doc.Result = result
+		sw.doc.ShardsDone = sw.doc.ShardsTotal
+	}
+}
+
+// finishCached completes a sweep immediately from a cached merged result.
+func (s *sweepStore) finishCached(id string, result json.RawMessage, now time.Time) SweepStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	if !ok {
+		return SweepStatus{}
+	}
+	sw.cancel = nil
+	sw.doc.State = StateDone
+	sw.doc.CacheHit = true
+	sw.doc.Result = result
+	sw.doc.ShardsDone = sw.doc.ShardsTotal
+	sw.doc.Finished = &now
+	return sw.doc
+}
+
+// cancel requests cancellation; same outcome classification as job cancel.
+func (s *sweepStore) cancelSweep(id string) (SweepStatus, cancelOutcome) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	if !ok {
+		return SweepStatus{}, cancelUnknown
+	}
+	if sw.doc.State.Terminal() {
+		return sw.doc, cancelTerminal
+	}
+	if sw.cancel != nil {
+		sw.cancel(errJobCanceled)
+	}
+	return sw.doc, cancelRunning
+}
+
+// sweepCacheKey content-addresses a normalized sweep request, so an
+// identical sweep — sharded or not — is answered from the result cache.
+func sweepCacheKey(req cluster.SweepRequest) (string, error) {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte("sweep"))
+	h.Write([]byte{'\n'})
+	h.Write(buf)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// handleSubmitSweep implements POST /v1/sweeps: validate, answer from the
+// content-addressed cache when the identical sweep has already run, and
+// otherwise hand the request to the cluster coordinator on a background
+// goroutine. The response is the sweep document; poll GET /v1/sweeps/{id}
+// for shard progress and the merged result.
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	if s.draining() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req cluster.SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if err := req.Normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key, err := sweepCacheKey(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	now := time.Now()
+
+	ctx, cancel := context.WithCancelCause(s.jobCtx)
+	sw := s.sweeps.add(req, cancel, now)
+	id := sw.doc.ID
+
+	if cached, ok := s.cache.Get(key); ok {
+		cancel(nil)
+		doc := s.sweeps.finishCached(id, cached, now)
+		s.metrics.cacheHit()
+		writeJSON(w, http.StatusOK, doc)
+		return
+	}
+
+	s.metrics.sweepStarted()
+	s.sweepWG.Add(1)
+	go func() {
+		defer s.sweepWG.Done()
+		defer cancel(nil)
+		s.sweeps.setRunning(id)
+		res, err := s.coord.Sweep(ctx, req, func(done, total int) {
+			s.sweeps.setProgress(id, done)
+		})
+		finished := time.Now()
+		canceled := errors.Is(context.Cause(ctx), errJobCanceled)
+		var buf json.RawMessage
+		if err == nil {
+			buf, err = json.Marshal(res)
+		}
+		if err == nil && !canceled {
+			s.cache.Put(key, buf)
+		}
+		s.sweeps.finish(id, buf, err, canceled, finished)
+		s.metrics.sweepFinished(err, canceled)
+	}()
+
+	doc, _ := s.sweeps.get(id)
+	writeJSON(w, http.StatusAccepted, doc)
+}
+
+func (s *Server) handleGetSweep(w http.ResponseWriter, r *http.Request) {
+	doc, ok := s.sweeps.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such sweep")
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// sweepSummary is the list view of a sweep (no result payload).
+type sweepSummary struct {
+	ID          string     `json:"id"`
+	State       State      `json:"state"`
+	Kind        string     `json:"kind"`
+	SeedStart   uint64     `json:"seed_start"`
+	SeedCount   int        `json:"seed_count"`
+	ShardsDone  int        `json:"shards_done"`
+	ShardsTotal int        `json:"shards_total"`
+	Created     time.Time  `json:"created"`
+	Finished    *time.Time `json:"finished,omitempty"`
+	Error       string     `json:"error,omitempty"`
+}
+
+func (s *Server) handleListSweeps(w http.ResponseWriter, _ *http.Request) {
+	sweeps := s.sweeps.list()
+	out := make([]sweepSummary, 0, len(sweeps))
+	for _, sw := range sweeps {
+		out = append(out, sweepSummary{
+			ID: sw.ID, State: sw.State, Kind: sw.Request.Kind,
+			SeedStart: sw.Request.SeedStart, SeedCount: sw.Request.SeedCount,
+			ShardsDone: sw.ShardsDone, ShardsTotal: sw.ShardsTotal,
+			Created: sw.Created, Finished: sw.Finished, Error: sw.Error,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sweeps": out})
+}
+
+// handleCancelSweep implements DELETE /v1/sweeps/{id}: the sweep's context
+// is canceled, which unwinds in-flight shards (and DELETEs their remote
+// jobs) before the sweep lands in the canceled state.
+func (s *Server) handleCancelSweep(w http.ResponseWriter, r *http.Request) {
+	doc, outcome := s.sweeps.cancelSweep(r.PathValue("id"))
+	switch outcome {
+	case cancelUnknown:
+		writeError(w, http.StatusNotFound, "no such sweep")
+	case cancelTerminal:
+		writeError(w, http.StatusConflict, fmt.Sprintf("sweep is already %s", doc.State))
+	default:
+		writeJSON(w, http.StatusAccepted, doc)
+	}
+}
+
+// handleBackends implements GET /v1/backends: the coordinator's view of the
+// fleet — health, weight, and in-flight shards per backend.
+func (s *Server) handleBackends(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"backends": s.coord.Backends()})
+}
