@@ -8,15 +8,22 @@
 //
 //	pcmctl sweep -kind lifetime -params '{"app":"milc","scale":"quick"}' \
 //	       -seeds 8 [-seed-start 1] \
-//	       -peers http://b1:8080,http://b2:8080 | -local \
+//	       -peers http://b1:8080,http://b2:8080 | -local | -submit http://coord:8080 \
 //	       [-retries 2] [-hedge-after 30s] [-shard-timeout 15m] [-concurrency N]
 //	pcmctl jobs -server http://b1:8080 [-state running] [-limit 100] [-offset 0]
 //	pcmctl cancel -server http://b1:8080 -id j000001-abcd1234
+//	pcmctl trace -server http://b1:8080 [-id <trace-id>]
+//	pcmctl -version
 //
 // sweep prints shard progress to stderr and the merged sweep result as
 // JSON on stdout. With -local (or no -peers) shards execute in-process on
 // a loopback backend — handy for smoke tests and for pinning that a
-// distributed run merges to exactly the local answer.
+// distributed run merges to exactly the local answer. With -submit the
+// sweep runs on a coordinator pcmd instead (POST /v1/sweeps), and the
+// printed document carries the trace ID to feed `pcmctl trace`.
+//
+// trace renders a completed trace from the server's /debug/traces ring as
+// an ASCII span tree — without -id it lists the retained traces.
 package main
 
 import (
@@ -27,13 +34,17 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
+	"text/tabwriter"
 	"time"
 
 	"pcmcomp/internal/cluster"
+	"pcmcomp/internal/obs"
 	"pcmcomp/internal/pcmclient"
 	"pcmcomp/internal/server"
+	"pcmcomp/internal/version"
 )
 
 func main() {
@@ -47,7 +58,7 @@ func main() {
 
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: pcmctl <sweep|jobs|cancel> [flags] (see -h of each subcommand)")
+		return fmt.Errorf("usage: pcmctl <sweep|jobs|cancel|trace> [flags] (see -h of each subcommand)")
 	}
 	switch args[0] {
 	case "sweep":
@@ -56,8 +67,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return runJobs(ctx, args[1:], stdout)
 	case "cancel":
 		return runCancel(ctx, args[1:], stdout)
+	case "trace":
+		return runTrace(ctx, args[1:], stdout)
+	case "version", "-version", "--version":
+		fmt.Fprintln(stdout, "pcmctl", version.String())
+		return nil
 	default:
-		return fmt.Errorf("unknown subcommand %q (want sweep, jobs, or cancel)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want sweep, jobs, cancel, or trace)", args[0])
 	}
 }
 
@@ -81,6 +97,8 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	seeds := fs.Int("seeds", 1, "number of consecutive seeds (= shard count)")
 	peers := fs.String("peers", "", "comma-separated pcmd base URLs to shard across")
 	local := fs.Bool("local", false, "run shards in-process instead of against peers")
+	submit := fs.String("submit", "", "coordinator pcmd base URL: run the sweep server-side via POST /v1/sweeps")
+	verbose := fs.Bool("v", false, "log the client's retry/backoff machinery to stderr (with -submit)")
 	retries := fs.Int("retries", 2, "per-shard re-dispatch budget")
 	hedgeAfter := fs.Duration("hedge-after", 30*time.Second, "straggler hedging delay (0 disables)")
 	shardTimeout := fs.Duration("shard-timeout", 15*time.Minute, "per-attempt shard deadline")
@@ -102,6 +120,13 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	}
 	if err := req.Normalize(); err != nil {
 		return err
+	}
+
+	if *submit != "" {
+		if *local || *peers != "" {
+			return fmt.Errorf("-submit is mutually exclusive with -local and -peers")
+		}
+		return submitSweep(ctx, *submit, req, *verbose, *quiet, stdout, stderr)
 	}
 
 	var backends []cluster.Backend
@@ -156,6 +181,45 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	return enc.Encode(res)
 }
 
+// submitSweep runs the sweep server-side: POST /v1/sweeps on a
+// coordinator pcmd, then poll until terminal. The coordinator owns
+// sharding, retries, and hedging; this side only watches progress.
+func submitSweep(ctx context.Context, serverURL string, req cluster.SweepRequest, verbose, quiet bool, stdout, stderr io.Writer) error {
+	c := pcmclient.New(serverURL)
+	if verbose {
+		logger, err := obs.NewLogger(stderr, "text", nil)
+		if err != nil {
+			return err
+		}
+		c.Logger = logger
+	}
+	sw, err := c.SubmitSweep(ctx, req)
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(stderr, "sweep %s accepted (trace %s)\n", sw.ID, sw.TraceID)
+	}
+	onProgress := func(done, total int) {
+		if !quiet && total > 0 {
+			fmt.Fprintf(stderr, "\rshards %d/%d", done, total)
+		}
+	}
+	sw, err = c.WaitSweep(ctx, sw.ID, onProgress)
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintln(stderr)
+	}
+	if sw.State != pcmclient.StateDone {
+		return fmt.Errorf("sweep %s %s: %s", sw.ID, sw.State, sw.Error)
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sw)
+}
+
 func runJobs(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pcmctl jobs", flag.ContinueOnError)
 	serverURL := fs.String("server", "", "pcmd base URL (required)")
@@ -176,6 +240,60 @@ func runJobs(ctx context.Context, args []string, stdout io.Writer) error {
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(page)
+}
+
+func runTrace(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pcmctl trace", flag.ContinueOnError)
+	serverURL := fs.String("server", "", "pcmd base URL (required)")
+	id := fs.String("id", "", "trace ID to render (empty: list retained traces)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *serverURL == "" {
+		return fmt.Errorf("-server is required")
+	}
+	c := pcmclient.New(*serverURL)
+	if *id == "" {
+		traces, err := c.Traces(ctx)
+		if err != nil {
+			return err
+		}
+		if len(traces) == 0 {
+			fmt.Fprintln(stdout, "no traces retained")
+			return nil
+		}
+		tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "TRACE\tROOT\tSPANS\tSTART\tDURATION")
+		for _, t := range traces {
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%.1fms\n",
+				t.TraceID, t.Root, t.Spans, t.Start.Format(time.RFC3339), t.DurationMS)
+		}
+		return tw.Flush()
+	}
+	tree, err := c.Trace(ctx, *id)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "trace", *id)
+	obs.Walk(tree, func(n *obs.SpanNode, depth int) {
+		indent := strings.Repeat("  ", depth+1)
+		fmt.Fprintf(stdout, "%s%s  %s", indent, n.Name, n.Duration().Round(time.Microsecond))
+		if len(n.Attrs) > 0 {
+			keys := make([]string, 0, len(n.Attrs))
+			for k := range n.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(stdout, " %s=%s", k, n.Attrs[k])
+			}
+		}
+		if n.Error != "" {
+			fmt.Fprintf(stdout, " error=%q", n.Error)
+		}
+		fmt.Fprintln(stdout)
+	})
+	return nil
 }
 
 func runCancel(ctx context.Context, args []string, stdout io.Writer) error {

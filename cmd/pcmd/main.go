@@ -12,10 +12,15 @@
 //	     [-drain-timeout 30s]
 //	     [-peers http://b1:8080,http://b2:8080] [-sweep-retries 2]
 //	     [-hedge-after 30s] [-health-interval 15s]
+//	     [-log-format text|json] [-log-level info] [-pprof] [-version]
 //
 // With -peers, POST /v1/sweeps shards seed sweeps across the listed pcmd
 // backends (coordinator mode); without it, sweeps run on an in-process
 // loopback backend, so a single node still serves the full API.
+//
+// Logs are structured (log/slog) on stderr: text for terminals, -log-format
+// json for collectors. -pprof mounts net/http/pprof under /debug/pprof/
+// (off by default). -version prints the ldflags-stamped build identity.
 //
 // SIGINT/SIGTERM begin a graceful drain: new submissions get 503, running
 // and queued jobs finish (up to -drain-timeout), the final snapshot (when
@@ -29,7 +34,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -38,7 +43,9 @@ import (
 	"syscall"
 	"time"
 
+	"pcmcomp/internal/obs"
 	"pcmcomp/internal/server"
+	"pcmcomp/internal/version"
 )
 
 func main() {
@@ -69,7 +76,24 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	sweepRetries := fs.Int("sweep-retries", 2, "per-shard re-dispatch budget for sweeps")
 	hedgeAfter := fs.Duration("hedge-after", 30*time.Second, "straggler-shard hedging delay (negative disables)")
 	healthInterval := fs.Duration("health-interval", 15*time.Second, "peer health-probe cadence")
+	logFormat := fs.String("log-format", "text", "structured log format: text or json")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	showVersion := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *showVersion {
+		fmt.Println("pcmd", version.String())
+		return nil
+	}
+
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
 		return err
 	}
 
@@ -93,9 +117,11 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		SweepRetries:     *sweepRetries,
 		SweepHedgeAfter:  *hedgeAfter,
 		HealthInterval:   *healthInterval,
+		Logger:           logger,
+		EnablePprof:      *enablePprof,
 	})
 	if err := svc.RestoreError(); err != nil {
-		log.Printf("pcmd: starting with an empty store: %v", err)
+		logger.Warn("starting with an empty store", "err", err)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -108,7 +134,8 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	httpSrv := &http.Server{Handler: svc}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
-	log.Printf("pcmd: serving on %s (%d workers)", ln.Addr(), *workers)
+	logger.Info("serving", "addr", ln.Addr().String(), "workers", *workers,
+		"version", version.String(), "pprof", *enablePprof)
 
 	select {
 	case err := <-serveErr:
@@ -116,7 +143,7 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	case <-ctx.Done():
 	}
 
-	log.Printf("pcmd: draining (deadline %s)", *drainTimeout)
+	logger.Info("draining", "deadline", drainTimeout.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	// Drain the pool first while the listener keeps serving: new
@@ -130,6 +157,22 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	if httpErr != nil && !errors.Is(httpErr, context.DeadlineExceeded) {
 		return httpErr
 	}
-	log.Printf("pcmd: drained, exiting")
+	logger.Info("drained, exiting")
 	return nil
+}
+
+// parseLevel maps the -log-level spelling onto a slog.Level.
+func parseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
+	}
 }

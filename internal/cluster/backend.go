@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"pcmcomp/internal/obs"
 	"pcmcomp/internal/pcmclient"
 )
 
@@ -86,14 +87,25 @@ func (h *HTTPBackend) RunJob(ctx context.Context, kind string, params json.RawMe
 	if err != nil {
 		return nil, fmt.Errorf("backend %s: submit: %w", h.name, err)
 	}
+	id := j.ID
 	if !j.Terminal() {
-		j, err = h.Client.Wait(ctx, j.ID)
+		w, werr := h.Client.Wait(ctx, j.ID)
+		if w != nil {
+			j = w
+		}
+		err = werr
 	}
+	// Graft the backend's execution spans into the caller's trace: the
+	// remote job ran under the trace ID we propagated, so its reported
+	// spans slot straight into the coordinator's span tree.
+	obs.RecordAll(ctx, j.Spans)
 	if err != nil {
 		if ctx.Err() != nil {
-			// The coordinator abandoned this attempt; release the remote
-			// job under a fresh context (ours is already dead).
-			h.cancelJob(j)
+			// The coordinator abandoned this attempt (hedge lost, sweep
+			// canceled); release the remote job under a fresh context (ours
+			// is already dead). Wait returns a nil job on a canceled poll,
+			// so the DELETE targets the ID captured at submission.
+			h.cancelJob(id)
 		}
 		return nil, fmt.Errorf("backend %s: %w", h.name, err)
 	}
@@ -104,13 +116,13 @@ func (h *HTTPBackend) RunJob(ctx context.Context, kind string, params json.RawMe
 }
 
 // cancelJob best-effort-DELETEs an abandoned job.
-func (h *HTTPBackend) cancelJob(j *pcmclient.Job) {
-	if j == nil || j.ID == "" {
+func (h *HTTPBackend) cancelJob(id string) {
+	if id == "" {
 		return
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	_, _ = h.Client.Cancel(ctx, j.ID)
+	_, _ = h.Client.Cancel(ctx, id)
 }
 
 func (h *HTTPBackend) Check(ctx context.Context) error {

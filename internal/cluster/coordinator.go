@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"pcmcomp/internal/obs"
 	"pcmcomp/internal/pcmclient"
 )
 
@@ -243,11 +245,71 @@ func (c *Coordinator) HealthLoop(ctx context.Context, interval time.Duration) {
 	}
 }
 
+// Shard event types, as emitted through SweepHooks.OnEvent and recorded
+// on a sweep's flight-recorder timeline.
+const (
+	EventDispatch    = "shard_dispatch"     // an attempt launched on a backend
+	EventRetry       = "shard_retry"        // a failed shard is being re-dispatched
+	EventHedge       = "shard_hedge"        // a straggler got a duplicate dispatch
+	EventHedgeCancel = "shard_hedge_cancel" // a losing duplicate was reclaimed
+	EventShardDone   = "shard_done"         // a shard's result is in
+	EventShardFailed = "shard_failed"       // a shard exhausted its retries
+)
+
+// ShardEvent is one scheduling decision, reported as it happens so the
+// caller can attribute a sweep's behaviour per shard: which backend ran
+// it, why it was retried or hedged, and what failed.
+type ShardEvent struct {
+	Time    time.Time `json:"time"`
+	Type    string    `json:"type"`
+	Shard   int       `json:"shard"`
+	Seed    uint64    `json:"seed"`
+	Backend string    `json:"backend,omitempty"`
+	Attempt int       `json:"attempt,omitempty"`
+	Err     string    `json:"error,omitempty"`
+}
+
+// SweepHooks are the optional per-sweep observers. Both callbacks must be
+// safe for concurrent invocation — shards complete in parallel.
+type SweepHooks struct {
+	// OnProgress is invoked after every shard completion with the done and
+	// total shard counts.
+	OnProgress func(done, total int)
+	// OnEvent observes every scheduling decision (dispatch, retry, hedge,
+	// hedge cancel, completion) as it happens.
+	OnEvent func(ev ShardEvent)
+}
+
+// emit reports one event through the hook, stamping the time.
+func (h *SweepHooks) emit(typ string, sh shard, backend string, attempt int, err error) {
+	if h == nil || h.OnEvent == nil {
+		return
+	}
+	ev := ShardEvent{
+		Time: time.Now(), Type: typ, Shard: sh.index, Seed: sh.seed,
+		Backend: backend, Attempt: attempt,
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	h.OnEvent(ev)
+}
+
 // Sweep shards the request across the fleet and returns the merged result.
 // onProgress (optional) is invoked after every shard completion with the
 // done and total shard counts. Sweep fails only when a shard has exhausted
 // its retries; the error then carries the first such shard's cause.
 func (c *Coordinator) Sweep(ctx context.Context, req SweepRequest, onProgress func(done, total int)) (*SweepResult, error) {
+	return c.SweepWithHooks(ctx, req, SweepHooks{OnProgress: onProgress})
+}
+
+// SweepWithHooks is Sweep with full per-shard event observation. When the
+// context carries an obs ring and span, each shard contributes a "shard"
+// span (child of the caller's span) with one "dispatch" span per attempt,
+// so a traced sweep shows exactly where every shard ran and how long each
+// attempt took. Tracing and hooks only observe scheduling — the merged
+// result is byte-identical with or without them.
+func (c *Coordinator) SweepWithHooks(ctx context.Context, req SweepRequest, hooks SweepHooks) (*SweepResult, error) {
 	if err := req.Normalize(); err != nil {
 		return nil, err
 	}
@@ -267,9 +329,9 @@ func (c *Coordinator) Sweep(ctx context.Context, req SweepRequest, onProgress fu
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			raw[i], errs[i] = c.runShard(ctx, shards[i])
-			if onProgress != nil {
-				onProgress(int(done.Add(1)), len(shards))
+			raw[i], errs[i] = c.runShard(ctx, shards[i], &hooks)
+			if hooks.OnProgress != nil {
+				hooks.OnProgress(int(done.Add(1)), len(shards))
 			}
 		}(i)
 	}
@@ -296,7 +358,20 @@ func permanent(err error) bool {
 
 // runShard drives one shard to completion: dispatch, hedge stragglers, and
 // re-dispatch on failure up to MaxRetries times.
-func (c *Coordinator) runShard(ctx context.Context, sh shard) (json.RawMessage, error) {
+func (c *Coordinator) runShard(ctx context.Context, sh shard, hooks *SweepHooks) (res json.RawMessage, err error) {
+	ctx, span := obs.Start(ctx, "shard")
+	span.SetAttr("seed", strconv.FormatUint(sh.seed, 10))
+	span.SetAttr("kind", sh.kind)
+	defer func() {
+		span.SetError(err)
+		span.End()
+		if err != nil {
+			hooks.emit(EventShardFailed, sh, "", 0, err)
+		} else {
+			hooks.emit(EventShardDone, sh, "", 0, nil)
+		}
+	}()
+
 	var lastErr error
 	var lastBackend *backendState
 	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
@@ -305,8 +380,12 @@ func (c *Coordinator) runShard(ctx context.Context, sh shard) (json.RawMessage, 
 		}
 		if attempt > 0 {
 			c.metrics.retries.Add(1)
+			hooks.emit(EventRetry, sh, backendName(lastBackend), attempt, lastErr)
+			obs.Logger(ctx).Warn("cluster: retrying shard",
+				"seed", sh.seed, "attempt", attempt,
+				"failed_backend", backendName(lastBackend), "err", lastErr.Error())
 		}
-		res, err := c.attemptShard(ctx, sh, lastBackend)
+		res, err := c.attemptShard(ctx, sh, lastBackend, attempt, hooks)
 		if err == nil {
 			return res, nil
 		}
@@ -321,6 +400,14 @@ func (c *Coordinator) runShard(ctx context.Context, sh shard) (json.RawMessage, 
 		}
 	}
 	return nil, lastErr
+}
+
+// backendName is nil-safe (the first attempt has no prior backend).
+func backendName(bs *backendState) string {
+	if bs == nil {
+		return ""
+	}
+	return bs.b.Name()
 }
 
 // attemptError carries which backend an attempt failed on, so the retry
@@ -338,7 +425,7 @@ func (e *attemptError) Unwrap() error { return e.err }
 // the primary stalls past HedgeAfter and another backend exists — one
 // hedged duplicate. The first success wins; the loser's context is
 // canceled, which an HTTPBackend turns into DELETE /v1/jobs/{id}.
-func (c *Coordinator) attemptShard(ctx context.Context, sh shard, avoid *backendState) (json.RawMessage, error) {
+func (c *Coordinator) attemptShard(ctx context.Context, sh shard, avoid *backendState, attempt int, hooks *SweepHooks) (json.RawMessage, error) {
 	primary := c.pick(avoid)
 	if primary == nil {
 		primary = c.pick(nil)
@@ -356,15 +443,33 @@ func (c *Coordinator) attemptShard(ctx context.Context, sh shard, avoid *backend
 		bs  *backendState
 	}
 	results := make(chan outcome, 2) // buffered: a late loser must not block
-	launch := func(bs *backendState) {
+	launch := func(bs *backendState, hedged bool) {
 		c.metrics.dispatched.Add(1)
+		if hedged {
+			hooks.emit(EventHedge, sh, bs.b.Name(), attempt, nil)
+		} else {
+			hooks.emit(EventDispatch, sh, bs.b.Name(), attempt, nil)
+		}
+		obs.Logger(ctx).Debug("cluster: dispatching shard",
+			"seed", sh.seed, "backend", bs.b.Name(), "attempt", attempt, "hedged", hedged)
 		go func() {
-			res, err := bs.b.RunJob(actx, sh.kind, sh.params)
+			// One span per dispatch: the remote job's execution span (reported
+			// back in its job document) becomes this span's child via the
+			// propagation headers pcmclient stamps from this context.
+			dctx, dspan := obs.Start(actx, "dispatch")
+			dspan.SetAttr("backend", bs.b.Name())
+			dspan.SetAttr("attempt", strconv.Itoa(attempt))
+			if hedged {
+				dspan.SetAttr("hedged", "true")
+			}
+			res, err := bs.b.RunJob(dctx, sh.kind, sh.params)
+			dspan.SetError(err)
+			dspan.End()
 			c.release(bs)
 			results <- outcome{res: res, err: err, bs: bs}
 		}()
 	}
-	launch(primary)
+	launch(primary, false)
 
 	var hedgeCh <-chan time.Time
 	if c.opts.HedgeAfter > 0 && len(c.backends) > 1 {
@@ -381,7 +486,7 @@ func (c *Coordinator) attemptShard(ctx context.Context, sh shard, avoid *backend
 			hedgeCh = nil
 			if second := c.pick(primary); second != nil {
 				c.metrics.hedges.Add(1)
-				launch(second)
+				launch(second, true)
 				inflight++
 			}
 		case o := <-results:
@@ -391,6 +496,9 @@ func (c *Coordinator) attemptShard(ctx context.Context, sh shard, avoid *backend
 				if inflight > 0 {
 					// The duplicate lost; reclaim it.
 					c.metrics.hedgeCancels.Add(1)
+					hooks.emit(EventHedgeCancel, sh, o.bs.b.Name(), attempt, nil)
+					obs.Logger(ctx).Debug("cluster: hedge won, canceling loser",
+						"seed", sh.seed, "winner", o.bs.b.Name())
 					cancel()
 				}
 				return o.res, nil
@@ -400,6 +508,8 @@ func (c *Coordinator) attemptShard(ctx context.Context, sh shard, avoid *backend
 			if actx.Err() == nil || !errors.Is(o.err, context.Canceled) {
 				if o.bs.onFailure(c.opts.BreakerThreshold, c.opts.BreakerCooldown, time.Now()) {
 					c.metrics.breakerOpens.Add(1)
+					obs.Logger(ctx).Warn("cluster: circuit opened",
+						"backend", o.bs.b.Name(), "err", o.err.Error())
 				}
 			}
 			if firstErr == nil {

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds a slog.Logger writing the given exposition format
+// ("text" or "json") to w. Unknown formats are an error so a mistyped
+// -log-format fails fast instead of silently logging nothing.
+func NewLogger(w io.Writer, format string, level slog.Leveler) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// embedded servers (tests, httptest fixtures) where request logs would be
+// noise.
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }
+
+// nopHandler drops every record. (slog.DiscardHandler arrived in Go 1.24;
+// this keeps the module's go 1.22 floor.)
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// WithLogger installs a request- or job-scoped logger in the context.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey, l)
+}
+
+// Logger returns the context's scoped logger, or a silent one — library
+// code logs unconditionally and stays quiet unless a caller opted in.
+func Logger(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey).(*slog.Logger); ok && l != nil {
+		return l
+	}
+	return NopLogger()
+}

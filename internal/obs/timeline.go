@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultTimelineCap bounds one flight-recorder timeline: beyond it the
+// oldest events are dropped (and counted), keeping the most recent
+// history — the part that explains how a job ended.
+const DefaultTimelineCap = 256
+
+// Event is one entry of a flight-recorder timeline: what happened, when,
+// and any small string fields that qualify it (backend, seed, cause...).
+type Event struct {
+	Time   time.Time         `json:"time"`
+	Type   string            `json:"type"`
+	Msg    string            `json:"msg,omitempty"`
+	Fields map[string]string `json:"fields,omitempty"`
+}
+
+// Timeline is a bounded, append-only event log attached to one job or
+// sweep. Writers append from worker goroutines; readers snapshot for the
+// /events endpoints and for persistence. Safe for concurrent use.
+type Timeline struct {
+	mu      sync.Mutex
+	cap     int
+	dropped uint64
+	events  []Event
+}
+
+// NewTimeline builds a timeline bounded to capEvents entries (<= 0
+// selects DefaultTimelineCap).
+func NewTimeline(capEvents int) *Timeline {
+	if capEvents <= 0 {
+		capEvents = DefaultTimelineCap
+	}
+	return &Timeline{cap: capEvents}
+}
+
+// Add appends an event stamped now. fields are alternating key, value
+// pairs; a trailing odd key is ignored.
+func (t *Timeline) Add(typ, msg string, fields ...string) {
+	t.AddAt(time.Now(), typ, msg, fields...)
+}
+
+// AddAt appends an event with an explicit timestamp (store transitions
+// reuse the time they already took for the job document, keeping the
+// timeline and the document consistent).
+func (t *Timeline) AddAt(at time.Time, typ, msg string, fields ...string) {
+	if t == nil {
+		return
+	}
+	ev := Event{Time: at, Type: typ, Msg: msg}
+	if len(fields) >= 2 {
+		ev.Fields = make(map[string]string, len(fields)/2)
+		for i := 0; i+1 < len(fields); i += 2 {
+			ev.Fields[fields[i]] = fields[i+1]
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.events) >= t.cap {
+		// Drop the oldest half in one slide instead of shifting per event.
+		half := t.cap / 2
+		t.dropped += uint64(len(t.events) - half)
+		t.events = append(t.events[:0], t.events[len(t.events)-half:]...)
+	}
+	t.events = append(t.events, ev)
+}
+
+// Events snapshots the timeline in append order.
+func (t *Timeline) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Dropped reports how many events the bound has discarded.
+func (t *Timeline) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Restore replaces the timeline's contents (snapshot restoration). Events
+// beyond the cap keep only the most recent, matching Add's policy.
+func (t *Timeline) Restore(events []Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(events) > t.cap {
+		t.dropped += uint64(len(events) - t.cap)
+		events = events[len(events)-t.cap:]
+	}
+	t.events = append([]Event(nil), events...)
+}

@@ -23,12 +23,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
 	"time"
+
+	"pcmcomp/internal/obs"
 )
 
 // The job kinds, mirroring the server's POST /v1/jobs/{kind} endpoints.
@@ -59,6 +62,13 @@ type Job struct {
 	Finished *time.Time      `json:"finished,omitempty"`
 	Result   json.RawMessage `json:"result,omitempty"`
 	Error    string          `json:"error,omitempty"`
+	// TraceID is the trace the job belongs to (propagated from the
+	// submitter's X-Pcmd-Trace-Id, or opened by the server).
+	TraceID string `json:"trace_id,omitempty"`
+	// Spans are the server-side execution spans reported back with the
+	// terminal job document, so a caller can graft the remote work into
+	// its own trace (obs.RecordAll).
+	Spans []obs.SpanData `json:"spans,omitempty"`
 }
 
 // Terminal reports whether the job has reached a final state.
@@ -118,10 +128,23 @@ type Client struct {
 	MaxBackoff  time.Duration
 	// PollInterval is Wait's cadence (default 250ms).
 	PollInterval time.Duration
+	// Logger, when set, narrates the client's retry machinery — each
+	// backoff sleep with its attempt, delay, and cause — plus submissions
+	// and cancellations. Nil stays silent (the default): the retries that
+	// used to be invisible sleeps become log lines only when asked for.
+	Logger *slog.Logger
 
 	// sleep is swappable so tests can run retries without wall-clock
 	// delays; it must honor ctx cancellation.
 	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// logger returns the configured logger or a silent one.
+func (c *Client) logger() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
+	}
+	return obs.NopLogger()
 }
 
 // New returns a client with the default retry policy.
@@ -201,18 +224,27 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		// Propagate the caller's trace so the server's spans join it.
+		obs.Inject(ctx, req)
 		retry, err := c.attempt(req, out)
 		if err == nil {
 			return nil
 		}
 		lastErr = err
 		if !retry || attempt >= c.MaxRetries {
+			if retry {
+				c.logger().Warn("pcmclient: retries exhausted",
+					"method", method, "path", path, "attempts", attempt+1, "err", lastErr.Error())
+			}
 			return lastErr
 		}
 		delay := c.backoff(attempt)
 		if hint := lastRetryAfter(err); hint > delay {
 			delay = hint
 		}
+		c.logger().Info("pcmclient: retrying",
+			"method", method, "path", path, "attempt", attempt+1,
+			"delay", delay.Round(time.Millisecond).String(), "err", lastErr.Error())
 		if err := c.doSleep(ctx, delay); err != nil {
 			return err
 		}
@@ -311,6 +343,7 @@ func (c *Client) Poll(ctx context.Context, id string) (*Job, error) {
 // a running job transitions within one of the server's context-poll
 // intervals — use Wait to observe the final state.
 func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
+	c.logger().Info("pcmclient: canceling job", "job_id", id)
 	var j Job
 	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &j); err != nil {
 		return nil, err
@@ -385,6 +418,7 @@ type JobSummary struct {
 	Created  time.Time  `json:"created"`
 	Finished *time.Time `json:"finished,omitempty"`
 	Error    string     `json:"error,omitempty"`
+	TraceID  string     `json:"trace_id,omitempty"`
 }
 
 // JobList is one page of the job listing.
@@ -418,6 +452,94 @@ func (c *Client) List(ctx context.Context, opts ListOptions) (*JobList, error) {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// Sweep is the client's view of a distributed sweep document, as served
+// by POST /v1/sweeps and GET /v1/sweeps/{id}.
+type Sweep struct {
+	ID          string          `json:"id"`
+	State       string          `json:"state"`
+	CacheHit    bool            `json:"cache_hit"`
+	Created     time.Time       `json:"created"`
+	Finished    *time.Time      `json:"finished,omitempty"`
+	ShardsDone  int             `json:"shards_done"`
+	ShardsTotal int             `json:"shards_total"`
+	Result      json.RawMessage `json:"result,omitempty"`
+	Error       string          `json:"error,omitempty"`
+	TraceID     string          `json:"trace_id,omitempty"`
+}
+
+// Terminal reports whether the sweep has reached a final state.
+func (s *Sweep) Terminal() bool {
+	return s.State == StateDone || s.State == StateFailed || s.State == StateCanceled
+}
+
+// SubmitSweep posts a distributed sweep to a coordinator pcmd. req may be
+// any JSON-serializable value matching the sweep request schema (kind,
+// params, seed_start, seed_count).
+func (c *Client) SubmitSweep(ctx context.Context, req any) (*Sweep, error) {
+	var sw Sweep
+	if err := c.do(ctx, http.MethodPost, "/v1/sweeps", req, &sw); err != nil {
+		return nil, err
+	}
+	return &sw, nil
+}
+
+// PollSweep fetches a sweep's current document.
+func (c *Client) PollSweep(ctx context.Context, id string) (*Sweep, error) {
+	var sw Sweep
+	if err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id, nil, &sw); err != nil {
+		return nil, err
+	}
+	return &sw, nil
+}
+
+// WaitSweep polls until the sweep reaches a terminal state. onProgress
+// (optional) observes shard progress along the way.
+func (c *Client) WaitSweep(ctx context.Context, id string, onProgress func(done, total int)) (*Sweep, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	for {
+		sw, err := c.PollSweep(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if onProgress != nil {
+			onProgress(sw.ShardsDone, sw.ShardsTotal)
+		}
+		if sw.Terminal() {
+			return sw, nil
+		}
+		if err := c.doSleep(ctx, interval); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Traces lists the completed traces the server's debug ring retains,
+// newest first (GET /debug/traces).
+func (c *Client) Traces(ctx context.Context) ([]obs.TraceSummary, error) {
+	var out struct {
+		Traces []obs.TraceSummary `json:"traces"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/debug/traces", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Traces, nil
+}
+
+// Trace fetches one trace's spans assembled into parent/child trees
+// (GET /debug/traces/{id}).
+func (c *Client) Trace(ctx context.Context, id string) ([]*obs.SpanNode, error) {
+	var out struct {
+		Tree []*obs.SpanNode `json:"tree"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/debug/traces/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Tree, nil
 }
 
 // Run submits a job and waits for its result.

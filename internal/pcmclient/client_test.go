@@ -1,6 +1,7 @@
 package pcmclient
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -12,6 +13,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"pcmcomp/internal/obs"
 )
 
 // newFlaky returns a test server that answers 503 (with the given
@@ -289,5 +292,53 @@ func TestHealth(t *testing.T) {
 	}
 	if calls.Load() != 1 {
 		t.Fatalf("health probe retried: %d calls, want 1 (probes must be point-in-time)", calls.Load())
+	}
+}
+
+// TestLoggerNarratesRetries checks that an injected slog.Logger makes the
+// retry machinery visible: each backoff logs an attempt line and an
+// exhausted budget logs a warning, while a logger-less client stays silent.
+func TestLoggerNarratesRetries(t *testing.T) {
+	ts, _ := newFlaky(2, "", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(Job{ID: "j000001-aaaaaaaa", State: StateQueued})
+	})
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	logger, err := obs.NewLogger(&buf, "text", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(ts.URL)
+	c.Logger = logger
+	instrument(c)
+	if _, err := c.Submit(context.Background(), KindCompression, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "pcmclient: retrying"); got != 2 {
+		t.Fatalf("retry log lines = %d, want 2:\n%s", got, out)
+	}
+	for _, want := range []string{"method=POST", "attempt=1", "attempt=2", "delay=", "err="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("retry log missing %q:\n%s", want, out)
+		}
+	}
+
+	// Exhausted budget: the terminal warning names the attempt count.
+	ts2, _ := newFlaky(1000, "", nil)
+	defer ts2.Close()
+	buf.Reset()
+	c2 := New(ts2.URL)
+	c2.Logger = logger
+	c2.MaxRetries = 1
+	instrument(c2)
+	if _, err := c2.Submit(context.Background(), KindCompression, nil); err == nil {
+		t.Fatal("persistent 503 succeeded")
+	}
+	if !strings.Contains(buf.String(), "pcmclient: retries exhausted") ||
+		!strings.Contains(buf.String(), "attempts=2") {
+		t.Fatalf("exhausted-retries warning missing:\n%s", buf.String())
 	}
 }

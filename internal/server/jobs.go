@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"pcmcomp/internal/experiments"
 	"pcmcomp/internal/lifetime"
 	"pcmcomp/internal/montecarlo"
+	"pcmcomp/internal/obs"
 	"pcmcomp/internal/stats"
 	"pcmcomp/internal/workload"
 )
@@ -83,12 +85,38 @@ var paramsFor = map[Kind]func() params{
 type jobProgress struct {
 	done  atomic.Uint64
 	total atomic.Uint64
+	// quart is the highest progress quartile already recorded to the
+	// flight recorder (0..4), so the timeline gets at most four progress
+	// ticks per job instead of one per simulation check.
+	quart atomic.Uint32
+	// tl is the owning job's timeline; nil for meters without a flight
+	// recorder (ExecuteLocal).
+	tl *obs.Timeline
 }
 
 // set publishes the current done/total pair (total 0 = unknown).
 func (p *jobProgress) set(done, total uint64) {
 	p.total.Store(total)
 	p.done.Store(done)
+	if p.tl == nil || total == 0 {
+		return
+	}
+	q := uint32(4 * done / total)
+	if q > 4 {
+		q = 4
+	}
+	for {
+		old := p.quart.Load()
+		if q <= old {
+			return
+		}
+		if p.quart.CompareAndSwap(old, q) {
+			p.tl.Add("progress", strconv.Itoa(int(q*25))+"%",
+				"done", strconv.FormatUint(done, 10),
+				"total", strconv.FormatUint(total, 10))
+			return
+		}
+	}
 }
 
 // Progress is the client-visible snapshot of a running job's progress. The
@@ -176,6 +204,13 @@ type Job struct {
 	// Progress is filled on snapshots of running jobs from the live meter;
 	// it is never persisted (a restored terminal job has its result).
 	Progress *Progress `json:"progress,omitempty"`
+	// TraceID is the trace this job belongs to: adopted from the inbound
+	// propagation headers, or minted at submission.
+	TraceID string `json:"trace_id,omitempty"`
+	// Spans are the job's execution spans, attached atomically with the
+	// terminal state so a remote caller polling the document can graft
+	// them into its own trace (cluster.HTTPBackend does).
+	Spans []obs.SpanData `json:"spans,omitempty"`
 
 	run params
 	// progress is the live meter the worker writes through; shared by
@@ -187,6 +222,12 @@ type Job struct {
 	// elem is the job's position in the store's terminal-order list once
 	// the job reaches a terminal state.
 	elem *list.Element
+	// parent is the submitter's span (zero when the submission carried no
+	// propagation headers); the execution span becomes its child.
+	parent obs.SpanContext
+	// events is the job's flight-recorder timeline. The pointer is set at
+	// add/restore and never replaced, so reads need no store lock.
+	events *obs.Timeline
 }
 
 // errJobCanceled is the cancellation cause a DELETE plants in a running
@@ -267,22 +308,31 @@ func (s *store) size() int {
 }
 
 // export returns copies of every terminal job in eviction order (oldest
-// finished first) plus the ID sequence, for snapshotting. Queued and
-// running jobs are deliberately absent: they cannot survive a restart.
-func (s *store) export() ([]Job, uint64) {
+// finished first), their flight-recorder timelines, and the ID sequence,
+// for snapshotting. Queued and running jobs are deliberately absent: they
+// cannot survive a restart.
+func (s *store) export() ([]Job, map[string][]obs.Event, uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]Job, 0, s.terminal.Len())
+	events := make(map[string][]obs.Event, s.terminal.Len())
 	for el := s.terminal.Front(); el != nil; el = el.Next() {
-		out = append(out, *el.Value.(*Job))
+		j := el.Value.(*Job)
+		out = append(out, *j)
+		if evs := j.events.Events(); len(evs) > 0 {
+			events[j.ID] = evs
+		}
 	}
-	return out, s.seq
+	return out, events, s.seq
 }
 
 // restore reinstates snapshotted terminal jobs, preserving their eviction
 // order, and advances the ID sequence so new jobs cannot collide with
-// restored ones. Non-terminal or malformed entries are skipped.
-func (s *store) restore(jobs []Job, seq uint64) {
+// restored ones. Non-terminal or malformed entries are skipped. Each
+// restored job keeps its recorded timeline (when the snapshot has one)
+// plus a snapshot_restored marker, so the flight recorder shows the
+// restart boundary.
+func (s *store) restore(jobs []Job, events map[string][]obs.Event, seq uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if seq > s.seq {
@@ -297,6 +347,10 @@ func (s *store) restore(jobs []Job, seq uint64) {
 			continue
 		}
 		j.run, j.cancel, j.elem, j.progress, j.Progress = nil, nil, nil, nil, nil
+		j.parent = obs.SpanContext{}
+		j.events = obs.NewTimeline(0)
+		j.events.Restore(events[j.ID])
+		j.events.Add("snapshot_restored", "restored from snapshot")
 		cp := j
 		s.jobs[cp.ID] = &cp
 		s.markTerminal(&cp)
@@ -316,11 +370,37 @@ func (s *store) add(kind Kind, p params, key string, now time.Time) *Job {
 		CacheKey: key,
 		Created:  now,
 		Params:   p,
+		TraceID:  obs.NewTraceID(),
 		run:      p,
-		progress: &jobProgress{},
+		events:   obs.NewTimeline(0),
 	}
+	j.progress = &jobProgress{tl: j.events}
+	j.events.AddAt(now, "queued", "", "kind", string(kind))
 	s.jobs[j.ID] = j
 	return j
+}
+
+// adoptTrace joins a just-added job to the submitter's trace (the inbound
+// propagation headers): the execution span becomes a child of the caller's
+// span instead of rooting a fresh trace. Call before the job is submitted
+// to the pool.
+func (s *store) adoptTrace(j *Job, sc obs.SpanContext) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.TraceID = sc.TraceID
+	j.parent = sc
+}
+
+// events returns a job's flight-recorder timeline snapshot and how many
+// early events its bound has discarded.
+func (s *store) events(id string) ([]obs.Event, uint64, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, 0, false
+	}
+	return j.events.Events(), j.events.Dropped(), true
 }
 
 // get returns a snapshot of a job (copy, so callers can marshal it without
@@ -362,16 +442,19 @@ func (s *store) claimRunning(j *Job, cancel context.CancelCauseFunc, now time.Ti
 	j.State = StateRunning
 	j.Started = &now
 	j.cancel = cancel
+	j.events.AddAt(now, "started", "")
 	return true
 }
 
-// setDone records a successful result.
-func (s *store) setDone(j *Job, result json.RawMessage, now time.Time) {
+// setDone records a successful result plus the execution spans.
+func (s *store) setDone(j *Job, result json.RawMessage, spans []obs.SpanData, now time.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j.State = StateDone
 	j.Result = result
+	j.Spans = spans
 	j.Finished = &now
+	j.events.AddAt(now, "done", "")
 	s.markTerminal(j)
 }
 
@@ -384,27 +467,33 @@ func (s *store) finishCached(j *Job, result json.RawMessage, now time.Time) {
 	j.Result = result
 	j.Started = &now
 	j.Finished = &now
+	j.events.AddAt(now, "cache_hit", "answered from the result cache")
+	j.events.AddAt(now, "done", "")
 	s.markTerminal(j)
 }
 
-// setFailed records a failure.
-func (s *store) setFailed(j *Job, err error, now time.Time) {
+// setFailed records a failure with its cause and any execution spans.
+func (s *store) setFailed(j *Job, err error, spans []obs.SpanData, now time.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j.State = StateFailed
 	j.Error = err.Error()
+	j.Spans = spans
 	j.Finished = &now
+	j.events.AddAt(now, "failed", "", "cause", err.Error())
 	s.markTerminal(j)
 }
 
 // setCanceled records a cancellation observed by the worker (the running
 // job's run returned with errJobCanceled as the context cause).
-func (s *store) setCanceled(j *Job, now time.Time) {
+func (s *store) setCanceled(j *Job, spans []obs.SpanData, now time.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j.State = StateCanceled
 	j.Error = errJobCanceled.Error()
+	j.Spans = spans
 	j.Finished = &now
+	j.events.AddAt(now, "canceled", "")
 	s.markTerminal(j)
 }
 
@@ -434,12 +523,14 @@ func (s *store) cancel(id string, now time.Time) (Job, cancelOutcome) {
 		j.State = StateCanceled
 		j.Error = errJobCanceled.Error()
 		j.Finished = &now
+		j.events.AddAt(now, "canceled", "canceled while queued")
 		s.markTerminal(j)
 		return *j, cancelQueued
 	case StateRunning:
 		if j.cancel != nil {
 			j.cancel(errJobCanceled)
 		}
+		j.events.AddAt(now, "cancel_requested", "client cancel; unwinding at the next context poll")
 		return *j, cancelRunning
 	default:
 		return *j, cancelTerminal

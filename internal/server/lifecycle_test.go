@@ -127,7 +127,7 @@ func TestStoreTTLSweep(t *testing.T) {
 	st := newStore(100, 50*time.Millisecond)
 	now := time.Now()
 	j := st.add(KindCompression, &CompressionParams{}, "00000000cafef00d", now)
-	st.setDone(j, json.RawMessage(`{}`), now)
+	st.setDone(j, json.RawMessage(`{}`), nil, now)
 	if n := st.sweep(now.Add(10 * time.Millisecond)); n != 0 {
 		t.Fatalf("swept %d young jobs", n)
 	}
@@ -454,7 +454,11 @@ func TestServerRejectionReasons(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	s.metrics.WriteTo(&buf, s.cache.Len(), s.store.size(), s.store.evictedCount())
+	s.metrics.WriteTo(&buf, runtimeStats{
+		cacheLen: s.cache.Len(),
+		storeLen: s.store.size(),
+		evicted:  s.store.evictedCount(),
+	})
 	out := buf.String()
 	if !strings.Contains(out, `pcmd_submit_rejected_total{reason="queue_full"} 1`) {
 		t.Fatalf("metrics missing queue_full rejection:\n%s", out)

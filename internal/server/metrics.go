@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pcmcomp/internal/cluster"
+	"pcmcomp/internal/version"
 )
 
 // latencyBuckets are the per-job-kind histogram upper bounds in seconds.
@@ -15,23 +16,46 @@ import (
 // large-scale sweeps span the minute range.
 var latencyBuckets = []float64{0.01, 0.1, 0.5, 1, 5, 30, 120, 600}
 
+// httpBuckets are the per-route request-latency upper bounds in seconds:
+// handlers are either instant (polls, listings) or as long as a cached
+// lookup plus marshaling, so the range is tighter than the job buckets.
+var httpBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
 // histogram is a fixed-bucket latency histogram (cumulative on render,
-// per-bucket in memory; counts[len(latencyBuckets)] is +Inf). Guarded by
-// the owning metrics mutex.
+// per-bucket in memory; counts[len(buckets)] is +Inf). Guarded by the
+// owning metrics mutex. A nil buckets slice selects latencyBuckets.
 type histogram struct {
-	counts []uint64
-	sum    float64
-	n      uint64
+	buckets []float64
+	counts  []uint64
+	sum     float64
+	n       uint64
 }
 
 func (h *histogram) observe(seconds float64) {
-	if h.counts == nil {
-		h.counts = make([]uint64, len(latencyBuckets)+1)
+	if h.buckets == nil {
+		h.buckets = latencyBuckets
 	}
-	i := sort.SearchFloat64s(latencyBuckets, seconds)
+	if h.counts == nil {
+		h.counts = make([]uint64, len(h.buckets)+1)
+	}
+	i := sort.SearchFloat64s(h.buckets, seconds)
 	h.counts[i]++
 	h.sum += seconds
 	h.n++
+}
+
+// writeHistogram renders one labeled histogram series set (cumulative
+// buckets, +Inf, sum, count). labels is the rendered label list without
+// the le pair, e.g. `kind="lifetime"`.
+func writeHistogram(w io.Writer, family, labels string, h *histogram) {
+	var cum uint64
+	for i, ub := range h.buckets {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", family, labels, fmt.Sprintf("%g", ub), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", family, labels, h.n)
+	fmt.Fprintf(w, "%s_sum{%s} %g\n", family, labels, h.sum)
+	fmt.Fprintf(w, "%s_count{%s} %d\n", family, labels, h.n)
 }
 
 // metrics aggregates the service's observability counters, rendered in
@@ -54,6 +78,17 @@ type metrics struct {
 	sweepsDone     uint64 // sweeps merged successfully
 	sweepsFailed   uint64 // sweeps that exhausted shard retries
 	sweepsCanceled uint64 // sweeps canceled by DELETE or shutdown
+
+	httpPanics uint64                // handler panics recovered to 500s
+	http       map[string]*routeStat // per-route request accounting
+}
+
+// routeStat is one route's HTTP accounting: requests by status code, the
+// in-flight gauge, and the latency histogram. Guarded by the metrics mutex.
+type routeStat struct {
+	inflight int64
+	byCode   map[int]uint64
+	seconds  histogram
 }
 
 func newMetrics() *metrics {
@@ -62,14 +97,50 @@ func newMetrics() *metrics {
 		failed:   make(map[Kind]uint64),
 		canceled: make(map[Kind]uint64),
 		latency:  make(map[Kind]*histogram),
+		http:     make(map[string]*routeStat),
 	}
 }
 
+// jobQueued moves the queue gauge; cache accounting is separate (cacheMiss)
+// because a submission can be rejected after the cache was already probed.
 func (m *metrics) jobQueued() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.queued++
-	m.cacheMisses++
+}
+
+// httpStart registers one in-flight request on a route.
+func (m *metrics) httpStart(route string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.routeLocked(route).inflight++
+}
+
+// httpDone completes a route's request accounting.
+func (m *metrics) httpDone(route string, code int, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs := m.routeLocked(route)
+	rs.inflight--
+	rs.byCode[code]++
+	rs.seconds.buckets = httpBuckets
+	rs.seconds.observe(elapsed.Seconds())
+}
+
+func (m *metrics) routeLocked(route string) *routeStat {
+	rs := m.http[route]
+	if rs == nil {
+		rs = &routeStat{byCode: make(map[int]uint64)}
+		m.http[route] = rs
+	}
+	return rs
+}
+
+// panicRecovered counts a handler panic the middleware turned into a 500.
+func (m *metrics) panicRecovered() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.httpPanics++
 }
 
 func (m *metrics) jobStarted() {
@@ -162,6 +233,16 @@ func (m *metrics) cacheHit() {
 	m.cacheHits++
 }
 
+// cacheMiss counts a probe of the result cache that found nothing. It is
+// called exactly where the cache is consulted — not folded into queue
+// accounting — so the hit/miss pair always sums to the number of probes,
+// even when the submission is later rejected.
+func (m *metrics) cacheMiss() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cacheMisses++
+}
+
 // snapshotCacheHits returns the hit counter (used by tests).
 func (m *metrics) snapshotCacheHits() uint64 {
 	m.mu.Lock()
@@ -169,11 +250,27 @@ func (m *metrics) snapshotCacheHits() uint64 {
 	return m.cacheHits
 }
 
+// runtimeStats are the point-in-time gauges WriteTo renders alongside the
+// accumulated counters: store/cache occupancy plus process-level health.
+type runtimeStats struct {
+	cacheLen   int
+	storeLen   int
+	evicted    uint64
+	goroutines int
+	uptime     time.Duration
+}
+
 // WriteTo renders the Prometheus text format. Kinds are emitted in the
-// fixed Kinds order so the output is stable for scrapers and tests.
-func (m *metrics) WriteTo(w io.Writer, cacheLen, storeLen int, evicted uint64) {
+// fixed Kinds order and routes sorted by name so the output is stable for
+// scrapers and tests.
+func (m *metrics) WriteTo(w io.Writer, rt runtimeStats) {
+	cacheLen, storeLen, evicted := rt.cacheLen, rt.storeLen, rt.evicted
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	fmt.Fprintf(w, "# TYPE pcmd_build_info gauge\npcmd_build_info{version=%q,go_version=%q} 1\n",
+		version.Version, version.GoVersion())
+	fmt.Fprintf(w, "# TYPE pcmd_goroutines gauge\npcmd_goroutines %d\n", rt.goroutines)
+	fmt.Fprintf(w, "# TYPE pcmd_uptime_seconds gauge\npcmd_uptime_seconds %g\n", rt.uptime.Seconds())
 	fmt.Fprintf(w, "# TYPE pcmd_jobs_tracked gauge\npcmd_jobs_tracked %d\n", storeLen)
 	fmt.Fprintf(w, "# TYPE pcmd_jobs_queued gauge\npcmd_jobs_queued %d\n", m.queued)
 	fmt.Fprintf(w, "# TYPE pcmd_jobs_running gauge\npcmd_jobs_running %d\n", m.running)
@@ -203,20 +300,44 @@ func (m *metrics) WriteTo(w io.Writer, cacheLen, storeLen int, evicted uint64) {
 		if h == nil {
 			continue
 		}
-		var cum uint64
-		for i, ub := range latencyBuckets {
-			cum += h.counts[i]
-			fmt.Fprintf(w, "pcmd_job_seconds_bucket{kind=%q,le=%q} %d\n", k, fmt.Sprintf("%g", ub), cum)
-		}
-		fmt.Fprintf(w, "pcmd_job_seconds_bucket{kind=%q,le=\"+Inf\"} %d\n", k, h.n)
-		fmt.Fprintf(w, "pcmd_job_seconds_sum{kind=%q} %g\n", k, h.sum)
-		fmt.Fprintf(w, "pcmd_job_seconds_count{kind=%q} %d\n", k, h.n)
+		writeHistogram(w, "pcmd_job_seconds", fmt.Sprintf("kind=%q", k), h)
 	}
 	fmt.Fprintf(w, "# TYPE pcmd_sweeps_running gauge\npcmd_sweeps_running %d\n", m.sweepsRunning)
 	fmt.Fprintf(w, "# TYPE pcmd_sweeps_total counter\n")
 	fmt.Fprintf(w, "pcmd_sweeps_total{outcome=\"done\"} %d\n", m.sweepsDone)
 	fmt.Fprintf(w, "pcmd_sweeps_total{outcome=\"failed\"} %d\n", m.sweepsFailed)
 	fmt.Fprintf(w, "pcmd_sweeps_total{outcome=\"canceled\"} %d\n", m.sweepsCanceled)
+
+	routes := make([]string, 0, len(m.http))
+	for route := range m.http {
+		routes = append(routes, route)
+	}
+	sort.Strings(routes)
+	fmt.Fprintf(w, "# TYPE pcmd_http_panics_total counter\npcmd_http_panics_total %d\n", m.httpPanics)
+	fmt.Fprintf(w, "# TYPE pcmd_http_inflight gauge\n")
+	for _, route := range routes {
+		fmt.Fprintf(w, "pcmd_http_inflight{route=%q} %d\n", route, m.http[route].inflight)
+	}
+	fmt.Fprintf(w, "# TYPE pcmd_http_requests_total counter\n")
+	for _, route := range routes {
+		rs := m.http[route]
+		codes := make([]int, 0, len(rs.byCode))
+		for code := range rs.byCode {
+			codes = append(codes, code)
+		}
+		sort.Ints(codes)
+		for _, code := range codes {
+			fmt.Fprintf(w, "pcmd_http_requests_total{route=%q,code=\"%d\"} %d\n", route, code, rs.byCode[code])
+		}
+	}
+	fmt.Fprintf(w, "# TYPE pcmd_http_request_seconds histogram\n")
+	for _, route := range routes {
+		rs := m.http[route]
+		if rs.seconds.n == 0 {
+			continue
+		}
+		writeHistogram(w, "pcmd_http_request_seconds", fmt.Sprintf("route=%q", route), &rs.seconds)
+	}
 }
 
 // writeClusterMetrics renders the coordinator's dispatch counters and the

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"net/http"
+	"runtime/debug"
+	"time"
+
+	"pcmcomp/internal/obs"
+)
+
+// statusWriter captures the status code and body size a handler produced,
+// for the access log and the per-route metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.wrote = true
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.wrote = true
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// route registers one pattern on the mux wrapped in the observability
+// middleware. The pattern doubles as the route label on the HTTP metrics,
+// so every registration — not the raw request path — names a bounded
+// metric series. (http.Request.Pattern would give the same string, but it
+// needs Go 1.23; this keeps the module floor at 1.22.)
+func (s *Server) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
+	mux.HandleFunc(pattern, s.instrument(pattern, h))
+}
+
+// instrument wraps a handler with the request-scoped observability stack:
+// trace extraction from the propagation headers, a context logger carrying
+// the request identity, per-route in-flight/latency/status metrics, an
+// access log line, and panic recovery to a logged 500.
+func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx := obs.WithRing(r.Context(), s.ring)
+		reqLog := s.log.With("method", r.Method, "path", r.URL.Path)
+		if sc := obs.Extract(r); sc.Valid() {
+			ctx = obs.WithRemoteParent(ctx, sc)
+			reqLog = reqLog.With("trace_id", sc.TraceID)
+		}
+		ctx = obs.WithLogger(ctx, reqLog)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		s.metrics.httpStart(pattern)
+		defer func() {
+			if v := recover(); v != nil {
+				s.metrics.panicRecovered()
+				reqLog.Error("panic in handler", "panic", v, "stack", string(debug.Stack()))
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, "internal server error")
+				}
+			}
+			elapsed := time.Since(start)
+			s.metrics.httpDone(pattern, sw.code, elapsed)
+			// Polling endpoints are chatty; keep their access lines at debug
+			// so an info-level log tracks state changes, not liveness probes.
+			logf := reqLog.Info
+			if r.Method == http.MethodGet {
+				logf = reqLog.Debug
+			}
+			logf("http request",
+				"status", sw.code, "bytes", sw.bytes,
+				"duration_ms", float64(elapsed)/float64(time.Millisecond))
+		}()
+		h(sw, r.WithContext(ctx))
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"pcmcomp/internal/obs"
 )
 
 // snapshotVersion guards the on-disk format: a snapshot written by a
@@ -24,6 +26,14 @@ type snapshot struct {
 	Seq     uint64          `json:"seq"`
 	Jobs    []Job           `json:"jobs"`
 	Cache   []exportedEntry `json:"cache"`
+	// Flight-recorder timelines and terminal sweeps, added with the
+	// observability work. All additive and omitempty, so snapshots written
+	// before these fields existed still load (they restore with empty
+	// timelines), keeping the version at 1.
+	JobEvents   map[string][]obs.Event `json:"job_events,omitempty"`
+	Sweeps      []SweepStatus          `json:"sweeps,omitempty"`
+	SweepEvents map[string][]obs.Event `json:"sweep_events,omitempty"`
+	SweepSeq    uint64                 `json:"sweep_seq,omitempty"`
 }
 
 // SaveSnapshot writes the current terminal jobs and result cache to the
@@ -34,13 +44,18 @@ func (s *Server) SaveSnapshot() error {
 	if s.cfg.SnapshotPath == "" {
 		return nil
 	}
-	jobs, seq := s.store.export()
+	jobs, jobEvents, seq := s.store.export()
+	sweeps, sweepEvents, sweepSeq := s.sweeps.export()
 	snap := snapshot{
-		Version: snapshotVersion,
-		SavedAt: time.Now().UTC(),
-		Seq:     seq,
-		Jobs:    jobs,
-		Cache:   s.cache.export(),
+		Version:     snapshotVersion,
+		SavedAt:     time.Now().UTC(),
+		Seq:         seq,
+		Jobs:        jobs,
+		Cache:       s.cache.export(),
+		JobEvents:   jobEvents,
+		Sweeps:      sweeps,
+		SweepEvents: sweepEvents,
+		SweepSeq:    sweepSeq,
 	}
 	buf, err := json.Marshal(&snap)
 	if err != nil {
@@ -94,7 +109,8 @@ func (s *Server) loadSnapshot() error {
 		return fmt.Errorf("snapshot: %s has version %d, want %d",
 			s.cfg.SnapshotPath, snap.Version, snapshotVersion)
 	}
-	s.store.restore(snap.Jobs, snap.Seq)
+	s.store.restore(snap.Jobs, snap.JobEvents, snap.Seq)
 	s.cache.restore(snap.Cache)
+	s.sweeps.restore(snap.Sweeps, snap.SweepEvents, snap.SweepSeq)
 	return nil
 }

@@ -38,7 +38,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sort"
 	"strconv"
@@ -46,6 +48,7 @@ import (
 	"time"
 
 	"pcmcomp/internal/cluster"
+	"pcmcomp/internal/obs"
 	"pcmcomp/internal/workload"
 )
 
@@ -90,6 +93,17 @@ type Config struct {
 	// HealthInterval is the peer health-probe cadence (default 15s; only
 	// meaningful with peers).
 	HealthInterval time.Duration
+	// Logger receives the service's structured logs (access lines, job
+	// lifecycle, shard scheduling). Nil discards them, keeping tests and
+	// embedded uses quiet.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
+	// default — profiles expose internals, so exposure is an explicit
+	// operator decision).
+	EnablePprof bool
+	// TraceRingSize bounds the in-memory ring of completed traces behind
+	// /debug/traces (default obs.DefaultMaxTraces).
+	TraceRingSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -146,6 +160,10 @@ type Server struct {
 	hkDone     chan struct{} // closed when the housekeeping loop exits
 	restoreErr error         // startup snapshot problem, if any
 
+	log     *slog.Logger // structured log sink (never nil; nop by default)
+	ring    *obs.Ring    // completed-trace ring behind /debug/traces
+	started time.Time    // process start, for the uptime gauge
+
 	// Distributed-sweep coordinator (see internal/cluster): remote peers
 	// in coordinator mode, an in-process loopback backend otherwise.
 	coord      *cluster.Coordinator
@@ -168,30 +186,54 @@ func New(cfg Config) *Server {
 		drain:   make(chan struct{}),
 		hkStop:  make(chan struct{}),
 		hkDone:  make(chan struct{}),
+		log:     cfg.Logger,
+		ring:    obs.NewRing(cfg.TraceRingSize),
+		started: time.Now(),
 	}
-	s.restoreErr = s.loadSnapshot()
-	s.jobCtx, s.cancelJobs = context.WithCancel(context.Background())
-	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.execute)
+	if s.log == nil {
+		s.log = obs.NopLogger()
+	}
 	s.sweeps = newSweepStore()
+	s.restoreErr = s.loadSnapshot()
+	// Workers and sweep goroutines inherit the ring and logger through
+	// jobCtx, so spans they start record into /debug/traces and their logs
+	// carry through even off the request path.
+	s.jobCtx, s.cancelJobs = context.WithCancel(
+		obs.WithLogger(obs.WithRing(context.Background(), s.ring), s.log))
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.execute)
 	s.initCoordinator()
 	go s.housekeeping()
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs/lifetime", s.submitHandler(KindLifetime))
-	mux.HandleFunc("POST /v1/jobs/failure-probability", s.submitHandler(KindFailureProbability))
-	mux.HandleFunc("POST /v1/jobs/compression", s.submitHandler(KindCompression))
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
-	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
-	mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
-	mux.HandleFunc("GET /v1/sweeps", s.handleListSweeps)
-	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
-	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancelSweep)
-	mux.HandleFunc("GET /v1/backends", s.handleBackends)
-	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
-	mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.route(mux, "POST /v1/jobs/lifetime", s.submitHandler(KindLifetime))
+	s.route(mux, "POST /v1/jobs/failure-probability", s.submitHandler(KindFailureProbability))
+	s.route(mux, "POST /v1/jobs/compression", s.submitHandler(KindCompression))
+	s.route(mux, "GET /v1/jobs/{id}", s.handleGetJob)
+	s.route(mux, "GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.route(mux, "DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.route(mux, "GET /v1/jobs", s.handleListJobs)
+	s.route(mux, "POST /v1/sweeps", s.handleSubmitSweep)
+	s.route(mux, "GET /v1/sweeps", s.handleListSweeps)
+	s.route(mux, "GET /v1/sweeps/{id}", s.handleGetSweep)
+	s.route(mux, "GET /v1/sweeps/{id}/events", s.handleSweepEvents)
+	s.route(mux, "DELETE /v1/sweeps/{id}", s.handleCancelSweep)
+	s.route(mux, "GET /v1/backends", s.handleBackends)
+	s.route(mux, "GET /v1/workloads", s.handleWorkloads)
+	s.route(mux, "GET /v1/schemes", s.handleSchemes)
+	s.route(mux, "GET /healthz", s.handleHealthz)
+	s.route(mux, "GET /metrics", s.handleMetrics)
+	s.route(mux, "GET /debug/traces", s.handleListTraces)
+	s.route(mux, "GET /debug/traces/{id}", s.handleGetTrace)
+	if cfg.EnablePprof {
+		// Raw registrations: the pprof handlers manage their own routing
+		// under the prefix, and profile downloads would only skew the
+		// request-latency histograms.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 	return s
 }
@@ -347,6 +389,26 @@ func (s *Server) execute(j *Job) {
 	}
 	s.metrics.jobStarted()
 
+	// The execution span joins the job's trace: a child of the submitter's
+	// span when the submission carried propagation headers, else the root
+	// of the trace minted at submission. Its data is attached to the
+	// terminal job document so a remote caller can graft it into its tree.
+	ctx = obs.WithRemoteParent(ctx, obs.SpanContext{TraceID: j.TraceID, SpanID: j.parent.SpanID})
+	ctx, span := obs.Start(ctx, "job.run")
+	span.SetAttr("job_id", j.ID)
+	span.SetAttr("kind", string(j.Kind))
+	jobLog := s.log.With("job_id", j.ID, "kind", string(j.Kind), "trace_id", j.TraceID)
+	ctx = obs.WithLogger(ctx, jobLog)
+	endSpan := func(err error) []obs.SpanData {
+		if span == nil {
+			return nil
+		}
+		span.SetError(err)
+		span.End()
+		return []obs.SpanData{span.Data()}
+	}
+	jobLog.Info("job started")
+
 	result, err := j.run.run(ctx, j.progress)
 	finished := time.Now()
 	var buf json.RawMessage
@@ -355,20 +417,23 @@ func (s *Server) execute(j *Job) {
 	}
 	if err != nil {
 		if errors.Is(context.Cause(ctx), errJobCanceled) {
-			s.store.setCanceled(j, finished)
+			s.store.setCanceled(j, endSpan(context.Cause(ctx)), finished)
 			s.metrics.jobFinished(j.Kind, outcomeCanceled, finished.Sub(start))
+			jobLog.Info("job canceled", "elapsed", finished.Sub(start))
 			return
 		}
 		if errors.Is(err, context.DeadlineExceeded) {
 			err = fmt.Errorf("job exceeded the %s execution deadline", s.cfg.JobTimeout)
 		}
-		s.store.setFailed(j, err, finished)
+		s.store.setFailed(j, err, endSpan(err), finished)
 		s.metrics.jobFinished(j.Kind, outcomeFailed, finished.Sub(start))
+		jobLog.Warn("job failed", "err", err, "elapsed", finished.Sub(start))
 		return
 	}
 	s.cache.Put(j.CacheKey, buf)
-	s.store.setDone(j, buf, finished)
+	s.store.setDone(j, buf, endSpan(nil), finished)
 	s.metrics.jobFinished(j.Kind, outcomeDone, finished.Sub(start))
+	jobLog.Info("job done", "elapsed", finished.Sub(start))
 }
 
 // submitHandler builds the POST handler for one job kind.
@@ -396,6 +461,11 @@ func (s *Server) submitHandler(kind Kind) http.HandlerFunc {
 		}
 		now := time.Now()
 		j := s.store.add(kind, p, key, now)
+		if rp := obs.RemoteParent(r.Context()); rp.TraceID != "" {
+			// The submitter propagated a trace (a coordinator's dispatch
+			// span); this job's execution joins it instead of rooting its own.
+			s.store.adoptTrace(j, rp)
+		}
 		if cached, ok := s.cache.Get(key); ok {
 			s.store.finishCached(j, cached, now)
 			s.metrics.cacheHit()
@@ -403,22 +473,24 @@ func (s *Server) submitHandler(kind Kind) http.HandlerFunc {
 			writeJSON(w, http.StatusOK, snap)
 			return
 		}
+		s.metrics.cacheMiss()
 		switch res := s.pool.Submit(j); res {
 		case submitQueueFull:
 			// Transient: the client should back off and retry.
-			s.store.setFailed(j, errors.New("job queue full"), now)
+			s.store.setFailed(j, errors.New("job queue full"), nil, now)
 			s.metrics.jobRejected(res)
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable, "job queue full, retry later")
 			return
 		case submitClosed:
 			// Terminal for this process: the pool is draining for shutdown.
-			s.store.setFailed(j, errors.New("server is draining"), now)
+			s.store.setFailed(j, errors.New("server is draining"), nil, now)
 			s.metrics.jobRejected(res)
 			writeError(w, http.StatusServiceUnavailable, "server is draining")
 			return
 		}
 		s.metrics.jobQueued()
+		obs.Logger(r.Context()).Info("job accepted", "job_id", j.ID, "kind", string(kind), "job_trace_id", j.TraceID)
 		snap, _ := s.store.get(j.ID)
 		writeJSON(w, http.StatusAccepted, snap)
 	}
@@ -464,6 +536,7 @@ type jobSummary struct {
 	Created  time.Time  `json:"created"`
 	Finished *time.Time `json:"finished,omitempty"`
 	Error    string     `json:"error,omitempty"`
+	TraceID  string     `json:"trace_id,omitempty"`
 }
 
 // Listing pagination bounds.
@@ -532,6 +605,7 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 		out = append(out, jobSummary{
 			ID: j.ID, Kind: j.Kind, State: j.State, CacheHit: j.CacheHit,
 			Created: j.Created, Finished: j.Finished, Error: j.Error,
+			TraceID: j.TraceID,
 		})
 	}
 	resp := map[string]any{"jobs": out, "total": total, "offset": offset}
@@ -589,7 +663,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WriteTo(w, s.cache.Len(), s.store.size(), s.store.evictedCount())
+	s.metrics.WriteTo(w, runtimeStats{
+		cacheLen:   s.cache.Len(),
+		storeLen:   s.store.size(),
+		evicted:    s.store.evictedCount(),
+		goroutines: runtime.NumGoroutine(),
+		uptime:     time.Since(s.started),
+	})
 	writeClusterMetrics(w, s.coord.Metrics(), s.coord.Backends())
 }
 

@@ -9,10 +9,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"pcmcomp/internal/cluster"
+	"pcmcomp/internal/obs"
 )
 
 // maxSweeps bounds the sweep registry; terminal sweeps are evicted oldest
@@ -32,12 +34,19 @@ type SweepStatus struct {
 	ShardsTotal int                  `json:"shards_total"`
 	Result      json.RawMessage      `json:"result,omitempty"`
 	Error       string               `json:"error,omitempty"`
+	// TraceID names the trace whose span tree covers this sweep's
+	// coordination: dispatches, retries, hedges, and the remote execution
+	// spans the backends report back. Fetch it from /debug/traces/{id}.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
-// sweepJob pairs the document with its cancel handle.
+// sweepJob pairs the document with its cancel handle and flight recorder.
 type sweepJob struct {
 	doc    SweepStatus
 	cancel context.CancelCauseFunc
+	// events is the sweep's flight-recorder timeline. Set at add/restore
+	// and never replaced, so reads need no store lock.
+	events *obs.Timeline
 }
 
 // sweepStore tracks sweeps, bounded like the job store: terminal sweeps
@@ -53,7 +62,7 @@ func newSweepStore() *sweepStore {
 	return &sweepStore{sweeps: make(map[string]*sweepJob)}
 }
 
-func (s *sweepStore) add(req cluster.SweepRequest, cancel context.CancelCauseFunc, now time.Time) *sweepJob {
+func (s *sweepStore) add(req cluster.SweepRequest, cancel context.CancelCauseFunc, traceID string, now time.Time) *sweepJob {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
@@ -64,13 +73,54 @@ func (s *sweepStore) add(req cluster.SweepRequest, cancel context.CancelCauseFun
 			Created:     now,
 			Request:     req,
 			ShardsTotal: req.SeedCount,
+			TraceID:     traceID,
 		},
 		cancel: cancel,
+		events: obs.NewTimeline(0),
 	}
+	sw.events.AddAt(now, "created", "",
+		"kind", req.Kind, "seeds", strconv.Itoa(req.SeedCount))
 	s.sweeps[sw.doc.ID] = sw
 	s.order = append(s.order, sw.doc.ID)
 	s.evictLocked()
 	return sw
+}
+
+// recordShardEvent appends one coordinator scheduling decision (dispatch,
+// retry, hedge, completion) to the sweep's timeline.
+func (s *sweepStore) recordShardEvent(id string, ev cluster.ShardEvent) {
+	s.mu.Lock()
+	sw, ok := s.sweeps[id]
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	fields := []string{
+		"shard", strconv.Itoa(ev.Shard),
+		"seed", strconv.FormatUint(ev.Seed, 10),
+	}
+	if ev.Backend != "" {
+		fields = append(fields, "backend", ev.Backend)
+	}
+	if ev.Attempt > 0 {
+		fields = append(fields, "attempt", strconv.Itoa(ev.Attempt))
+	}
+	if ev.Err != "" {
+		fields = append(fields, "cause", ev.Err)
+	}
+	sw.events.AddAt(ev.Time, ev.Type, "", fields...)
+}
+
+// events returns a sweep's flight-recorder timeline snapshot and how many
+// early events its bound has discarded.
+func (s *sweepStore) events(id string) ([]obs.Event, uint64, bool) {
+	s.mu.Lock()
+	sw, ok := s.sweeps[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, 0, false
+	}
+	return sw.events.Events(), sw.events.Dropped(), true
 }
 
 // evictLocked drops the oldest terminal sweeps beyond the bound.
@@ -125,6 +175,7 @@ func (s *sweepStore) setRunning(id string) {
 	defer s.mu.Unlock()
 	if sw, ok := s.sweeps[id]; ok && sw.doc.State == StateQueued {
 		sw.doc.State = StateRunning
+		sw.events.Add("started", "handed to the coordinator")
 	}
 }
 
@@ -149,13 +200,17 @@ func (s *sweepStore) finish(id string, result json.RawMessage, err error, cancel
 	case canceled:
 		sw.doc.State = StateCanceled
 		sw.doc.Error = errJobCanceled.Error()
+		sw.events.AddAt(now, "canceled", "")
 	case err != nil:
 		sw.doc.State = StateFailed
 		sw.doc.Error = err.Error()
+		sw.events.AddAt(now, "failed", "", "cause", err.Error())
 	default:
 		sw.doc.State = StateDone
 		sw.doc.Result = result
 		sw.doc.ShardsDone = sw.doc.ShardsTotal
+		sw.events.AddAt(now, "merged", "shard results merged deterministically")
+		sw.events.AddAt(now, "done", "")
 	}
 }
 
@@ -173,6 +228,8 @@ func (s *sweepStore) finishCached(id string, result json.RawMessage, now time.Ti
 	sw.doc.Result = result
 	sw.doc.ShardsDone = sw.doc.ShardsTotal
 	sw.doc.Finished = &now
+	sw.events.AddAt(now, "cache_hit", "answered from the result cache")
+	sw.events.AddAt(now, "done", "")
 	return sw.doc
 }
 
@@ -190,7 +247,55 @@ func (s *sweepStore) cancelSweep(id string) (SweepStatus, cancelOutcome) {
 	if sw.cancel != nil {
 		sw.cancel(errJobCanceled)
 	}
+	sw.events.Add("cancel_requested", "client cancel; unwinding in-flight shards")
 	return sw.doc, cancelRunning
+}
+
+// export returns the terminal sweep documents in insertion order, their
+// flight-recorder timelines, and the ID sequence, for snapshotting.
+// Running sweeps are absent for the same reason running jobs are: a
+// restart cannot resume their shards.
+func (s *sweepStore) export() ([]SweepStatus, map[string][]obs.Event, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SweepStatus, 0, len(s.sweeps))
+	events := make(map[string][]obs.Event)
+	for _, id := range s.order {
+		sw, ok := s.sweeps[id]
+		if !ok || !sw.doc.State.Terminal() {
+			continue
+		}
+		out = append(out, sw.doc)
+		if evs := sw.events.Events(); len(evs) > 0 {
+			events[id] = evs
+		}
+	}
+	return out, events, s.seq
+}
+
+// restore reinstates snapshotted terminal sweeps with their timelines,
+// marking the restart boundary on each, and advances the ID sequence past
+// the restored ones.
+func (s *sweepStore) restore(sweeps []SweepStatus, events map[string][]obs.Event, seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq > s.seq {
+		s.seq = seq
+	}
+	for _, doc := range sweeps {
+		if doc.ID == "" || !doc.State.Terminal() || doc.Finished == nil {
+			continue
+		}
+		if _, exists := s.sweeps[doc.ID]; exists {
+			continue
+		}
+		sw := &sweepJob{doc: doc, events: obs.NewTimeline(0)}
+		sw.events.Restore(events[doc.ID])
+		sw.events.Add("snapshot_restored", "restored from snapshot")
+		s.sweeps[doc.ID] = sw
+		s.order = append(s.order, doc.ID)
+	}
+	s.evictLocked()
 }
 
 // sweepCacheKey content-addresses a normalized sweep request, so an
@@ -236,25 +341,41 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	now := time.Now()
 
 	ctx, cancel := context.WithCancelCause(s.jobCtx)
-	sw := s.sweeps.add(req, cancel, now)
+	// The sweep span roots the trace (or joins the submitter's, when the
+	// request carried propagation headers). It is opened synchronously so
+	// the 202 document already names its trace; it ends when the
+	// coordinator goroutine finishes.
+	ctx = obs.WithRemoteParent(ctx, obs.RemoteParent(r.Context()))
+	ctx, span := obs.Start(ctx, "sweep")
+	sw := s.sweeps.add(req, cancel, span.Context().TraceID, now)
 	id := sw.doc.ID
+	span.SetAttr("sweep_id", id)
+	span.SetAttr("kind", req.Kind)
+	span.SetAttr("seeds", strconv.Itoa(req.SeedCount))
+	sweepLog := s.log.With("sweep_id", id, "kind", req.Kind, "trace_id", span.Context().TraceID)
+	ctx = obs.WithLogger(ctx, sweepLog)
 
 	if cached, ok := s.cache.Get(key); ok {
 		cancel(nil)
+		span.SetAttr("cache_hit", "true")
+		span.End()
 		doc := s.sweeps.finishCached(id, cached, now)
 		s.metrics.cacheHit()
 		writeJSON(w, http.StatusOK, doc)
 		return
 	}
+	s.metrics.cacheMiss()
 
 	s.metrics.sweepStarted()
+	sweepLog.Info("sweep accepted", "seeds", req.SeedCount)
 	s.sweepWG.Add(1)
 	go func() {
 		defer s.sweepWG.Done()
 		defer cancel(nil)
 		s.sweeps.setRunning(id)
-		res, err := s.coord.Sweep(ctx, req, func(done, total int) {
-			s.sweeps.setProgress(id, done)
+		res, err := s.coord.SweepWithHooks(ctx, req, cluster.SweepHooks{
+			OnProgress: func(done, total int) { s.sweeps.setProgress(id, done) },
+			OnEvent:    func(ev cluster.ShardEvent) { s.sweeps.recordShardEvent(id, ev) },
 		})
 		finished := time.Now()
 		canceled := errors.Is(context.Cause(ctx), errJobCanceled)
@@ -265,8 +386,18 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		if err == nil && !canceled {
 			s.cache.Put(key, buf)
 		}
+		span.SetError(err)
+		span.End()
 		s.sweeps.finish(id, buf, err, canceled, finished)
 		s.metrics.sweepFinished(err, canceled)
+		switch {
+		case canceled:
+			sweepLog.Info("sweep canceled", "elapsed", finished.Sub(now))
+		case err != nil:
+			sweepLog.Warn("sweep failed", "err", err, "elapsed", finished.Sub(now))
+		default:
+			sweepLog.Info("sweep done", "elapsed", finished.Sub(now))
+		}
 	}()
 
 	doc, _ := s.sweeps.get(id)

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"net/http"
+
+	"pcmcomp/internal/obs"
+)
+
+// handleListTraces implements GET /debug/traces: summaries of the
+// completed traces retained by the in-memory ring, newest first.
+func (s *Server) handleListTraces(w http.ResponseWriter, _ *http.Request) {
+	traces := s.ring.Traces()
+	writeJSON(w, http.StatusOK, map[string]any{"traces": traces, "count": len(traces)})
+}
+
+// handleGetTrace implements GET /debug/traces/{id}: one trace's spans
+// assembled into parent/child trees. Spans reported back by remote
+// backends appear in the same tree as the local dispatch spans — the
+// whole point of propagating the trace ID across processes.
+func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	spans, ok := s.ring.Trace(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such trace")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"trace_id": id,
+		"spans":    len(spans),
+		"tree":     obs.BuildTree(spans),
+	})
+}
+
+// handleJobEvents implements GET /v1/jobs/{id}/events: the job's
+// flight-recorder timeline.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	events, dropped, ok := s.store.events(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, eventsDoc(id, events, dropped))
+}
+
+// handleSweepEvents implements GET /v1/sweeps/{id}/events: the sweep's
+// flight-recorder timeline, including per-shard dispatch/retry/hedge
+// scheduling decisions and the merge.
+func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	events, dropped, ok := s.sweeps.events(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such sweep")
+		return
+	}
+	writeJSON(w, http.StatusOK, eventsDoc(id, events, dropped))
+}
+
+func eventsDoc(id string, events []obs.Event, dropped uint64) map[string]any {
+	doc := map[string]any{"id": id, "events": events, "count": len(events)}
+	if dropped > 0 {
+		doc["dropped"] = dropped
+	}
+	return doc
+}

@@ -1,0 +1,20 @@
+// Package version carries the build identity stamped into the pcmd and
+// pcmctl binaries at link time:
+//
+//	go build -ldflags "-X pcmcomp/internal/version.Version=v1.2.3" ./cmd/pcmd
+//
+// Unstamped builds report "dev". The version feeds the -version flags and
+// the pcmd_build_info metric, so a scrape identifies exactly which build
+// is serving.
+package version
+
+import "runtime"
+
+// Version is the ldflags-stamped release identifier.
+var Version = "dev"
+
+// GoVersion is the toolchain that built the binary.
+func GoVersion() string { return runtime.Version() }
+
+// String renders the full identity, e.g. "v1.2.3 (go1.22.0)".
+func String() string { return Version + " (" + GoVersion() + ")" }
