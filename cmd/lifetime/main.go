@@ -162,16 +162,9 @@ func parseSystems(s string) ([]core.SystemKind, error) {
 	if s == "all" {
 		return []core.SystemKind{core.Baseline, core.Comp, core.CompW, core.CompWF}, nil
 	}
-	switch strings.ToLower(s) {
-	case "baseline":
-		return []core.SystemKind{core.Baseline}, nil
-	case "comp":
-		return []core.SystemKind{core.Comp}, nil
-	case "comp+w", "compw":
-		return []core.SystemKind{core.CompW}, nil
-	case "comp+wf", "compwf":
-		return []core.SystemKind{core.CompWF}, nil
-	default:
-		return nil, fmt.Errorf("unknown system %q", s)
+	sys, err := core.SystemByName(strings.ToLower(s))
+	if err != nil {
+		return nil, err
 	}
+	return []core.SystemKind{sys}, nil
 }

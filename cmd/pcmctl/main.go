@@ -8,6 +8,7 @@
 //
 //	pcmctl sweep -kind lifetime -params '{"app":"milc","scale":"quick"}' \
 //	       -seeds 8 [-seed-start 1] \
+//	       [-schemes 'baseline;comp=bdi+fpc,ecc=ecp6,enc=coset4,wl=startgap'] \
 //	       -peers http://b1:8080,http://b2:8080 | -local | -submit http://coord:8080 \
 //	       [-retries 2] [-hedge-after 30s] [-shard-timeout 15m] [-concurrency N]
 //	pcmctl jobs -server http://b1:8080 [-state running] [-limit 100] [-offset 0]
@@ -88,13 +89,26 @@ func splitPeers(s string) []string {
 	return out
 }
 
+// splitSchemes parses a semicolon-separated scheme-spec list (specs
+// themselves contain commas, so "," cannot be the separator).
+func splitSchemes(s string) []string {
+	var out []string
+	for _, sc := range strings.Split(s, ";") {
+		if sc = strings.TrimSpace(sc); sc != "" {
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
 func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("pcmctl sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	kind := fs.String("kind", "", "job kind: lifetime, failure-probability, or compression")
 	paramsJSON := fs.String("params", "{}", "base job parameters as JSON (seed is set per shard)")
 	seedStart := fs.Uint64("seed-start", 1, "first seed")
-	seeds := fs.Int("seeds", 1, "number of consecutive seeds (= shard count)")
+	seeds := fs.Int("seeds", 1, "number of consecutive seeds")
+	schemes := fs.String("schemes", "", "semicolon-separated scheme specs for a lifetime scheme matrix (specs contain commas); one shard per scheme x seed")
 	peers := fs.String("peers", "", "comma-separated pcmd base URLs to shard across")
 	local := fs.Bool("local", false, "run shards in-process instead of against peers")
 	submit := fs.String("submit", "", "coordinator pcmd base URL: run the sweep server-side via POST /v1/sweeps")
@@ -117,6 +131,7 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		Params:    params,
 		SeedStart: *seedStart,
 		SeedCount: *seeds,
+		Schemes:   splitSchemes(*schemes),
 	}
 	if err := req.Normalize(); err != nil {
 		return err
@@ -173,7 +188,7 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	if !*quiet {
 		m := coord.Metrics()
 		fmt.Fprintf(stderr, "merged %d shards in %s (dispatched %d, retries %d, hedges %d, hedge cancels %d)\n",
-			res.SeedCount, time.Since(start).Round(time.Millisecond),
+			len(res.Shards), time.Since(start).Round(time.Millisecond),
 			m.Dispatched, m.Retries, m.Hedges, m.HedgeCancels)
 	}
 	enc := json.NewEncoder(stdout)

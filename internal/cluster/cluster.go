@@ -38,6 +38,7 @@ import (
 	"fmt"
 
 	"pcmcomp/internal/montecarlo"
+	"pcmcomp/internal/scheme"
 )
 
 // The job kinds a sweep can shard, mirroring the pcmd endpoints.
@@ -47,12 +48,14 @@ const (
 	KindCompression        = "compression"
 )
 
-// maxSeeds bounds a single sweep's fan-out.
+// maxSeeds bounds a single sweep's fan-out (seeds x schemes).
 const maxSeeds = 4096
 
 // SweepRequest describes one sweep: a base job configuration repeated over
-// a contiguous seed range. The per-shard job is Params with "seed" set to
-// the shard's seed, submitted to the kind's POST /v1/jobs endpoint.
+// a contiguous seed range — and, for lifetime sweeps, optionally over a
+// scheme matrix. The per-shard job is Params with "seed" (and "schemes",
+// when the matrix axis is used) set to the shard's point, submitted to the
+// kind's POST /v1/jobs endpoint.
 type SweepRequest struct {
 	// Kind is the job kind to shard (lifetime, failure-probability, or
 	// compression).
@@ -63,9 +66,21 @@ type SweepRequest struct {
 	// SeedStart is the first seed (default 1; pcmd treats seed 0 as 1, so
 	// sweeps start at 1 to keep shard params canonical).
 	SeedStart uint64 `json:"seed_start,omitempty"`
-	// SeedCount is the number of consecutive seeds, i.e. the shard count
-	// (default 1, max 4096).
+	// SeedCount is the number of consecutive seeds (default 1).
 	SeedCount int `json:"seed_count,omitempty"`
+	// Schemes is the scheme-matrix axis (lifetime sweeps only): one shard
+	// per (scheme, seed) pair, scheme-major. Each entry is a scheme spec —
+	// a preset name or a key=value composition — canonicalized by
+	// Normalize. Empty leaves the seed axis alone.
+	Schemes []string `json:"schemes,omitempty"`
+}
+
+// ShardCount is the sweep's total fan-out: seeds times scheme-matrix rows.
+func (r *SweepRequest) ShardCount() int {
+	if len(r.Schemes) == 0 {
+		return r.SeedCount
+	}
+	return r.SeedCount * len(r.Schemes)
 }
 
 // Normalize applies defaults and validates; the error text is safe to send
@@ -90,44 +105,82 @@ func (r *SweepRequest) Normalize() error {
 	if r.SeedStart+uint64(r.SeedCount) < r.SeedStart {
 		return fmt.Errorf("seed range overflows: start %d count %d", r.SeedStart, r.SeedCount)
 	}
+	if len(r.Schemes) > 0 {
+		if r.Kind != KindLifetime {
+			return fmt.Errorf("schemes are only valid for lifetime sweeps (got kind %q)", r.Kind)
+		}
+		seen := make(map[string]bool, len(r.Schemes))
+		for i, s := range r.Schemes {
+			sp, err := scheme.Parse(s)
+			if err != nil {
+				return err
+			}
+			// Canonical spec strings keep shard params — and therefore the
+			// backends' cache keys — identical across spelling variants.
+			r.Schemes[i] = sp.String()
+			if seen[r.Schemes[i]] {
+				return fmt.Errorf("duplicate scheme %q", r.Schemes[i])
+			}
+			seen[r.Schemes[i]] = true
+		}
+		if n := r.ShardCount(); n > maxSeeds {
+			return fmt.Errorf("schemes x seeds = %d shards, max %d", n, maxSeeds)
+		}
+	}
 	if r.Params == nil {
 		r.Params = map[string]any{}
 	}
 	return nil
 }
 
-// shard is one unit of dispatch: the base params with this shard's seed.
+// shard is one unit of dispatch: the base params with this shard's point
+// on the seed (and, for scheme-matrix sweeps, scheme) axes.
 type shard struct {
 	index  int
 	seed   uint64
+	scheme string // empty outside scheme-matrix sweeps
 	kind   string
 	params json.RawMessage
 }
 
-// shards expands the request into its dispatch units. Map marshaling sorts
-// keys, so shard params are canonical bytes and every backend computes the
-// same cache key for the same shard.
+// shards expands the request into its dispatch units, scheme-major then
+// seed-ascending (shard index = schemeIdx*SeedCount + seedOffset) so the
+// merged order is deterministic. Map marshaling sorts keys, so shard params
+// are canonical bytes and every backend computes the same cache key for the
+// same shard.
 func (r *SweepRequest) shards() ([]shard, error) {
-	out := make([]shard, r.SeedCount)
-	for i := range out {
-		seed := r.SeedStart + uint64(i)
-		p := make(map[string]any, len(r.Params)+1)
-		for k, v := range r.Params {
-			p[k] = v
+	schemes := r.Schemes
+	if len(schemes) == 0 {
+		schemes = []string{""}
+	}
+	out := make([]shard, 0, r.ShardCount())
+	for _, sc := range schemes {
+		for i := 0; i < r.SeedCount; i++ {
+			seed := r.SeedStart + uint64(i)
+			p := make(map[string]any, len(r.Params)+2)
+			for k, v := range r.Params {
+				p[k] = v
+			}
+			p["seed"] = seed
+			if sc != "" {
+				p["schemes"] = []string{sc}
+			}
+			buf, err := json.Marshal(p)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: marshal shard params: %w", err)
+			}
+			out = append(out, shard{index: len(out), seed: seed, scheme: sc, kind: r.Kind, params: buf})
 		}
-		p["seed"] = seed
-		buf, err := json.Marshal(p)
-		if err != nil {
-			return nil, fmt.Errorf("cluster: marshal shard params: %w", err)
-		}
-		out[i] = shard{index: i, seed: seed, kind: r.Kind, params: buf}
 	}
 	return out, nil
 }
 
-// ShardResult is one seed's slice of the merged result.
+// ShardResult is one shard's slice of the merged result.
 type ShardResult struct {
 	Seed uint64 `json:"seed"`
+	// Scheme is the shard's scheme spec on scheme-matrix sweeps; empty
+	// otherwise.
+	Scheme string `json:"scheme,omitempty"`
 	// Result is the shard job's raw result payload, compacted. Which
 	// backend produced it is deliberately absent — the merged document must
 	// not depend on scheduling.
@@ -142,6 +195,7 @@ type SweepResult struct {
 	Kind      string        `json:"kind"`
 	SeedStart uint64        `json:"seed_start"`
 	SeedCount int           `json:"seed_count"`
+	Schemes   []string      `json:"schemes,omitempty"`
 	Shards    []ShardResult `json:"shards"`
 	// MeanCurve is the failure-probability reduction: the per-seed curves
 	// averaged pointwise, summed in seed order (fixed float64 order).
@@ -151,24 +205,31 @@ type SweepResult struct {
 	TolerableAtHalf int `json:"tolerable_at_half,omitempty"`
 }
 
-// merge assembles the ordered raw shard results (raw[i] belongs to seed
-// SeedStart+i) into the sweep's merged document.
+// merge assembles the ordered raw shard results (raw[i] belongs to shard
+// index i, scheme-major then seed-ascending) into the sweep's merged
+// document.
 func merge(req *SweepRequest, raw []json.RawMessage) (*SweepResult, error) {
 	out := &SweepResult{
 		Kind:      req.Kind,
 		SeedStart: req.SeedStart,
 		SeedCount: req.SeedCount,
+		Schemes:   req.Schemes,
 		Shards:    make([]ShardResult, len(raw)),
 	}
 	for i, r := range raw {
+		seed := req.SeedStart + uint64(i%req.SeedCount)
+		sc := ""
+		if len(req.Schemes) > 0 {
+			sc = req.Schemes[i/req.SeedCount]
+		}
 		if len(r) == 0 {
-			return nil, fmt.Errorf("cluster: missing result for seed %d", req.SeedStart+uint64(i))
+			return nil, fmt.Errorf("cluster: missing result for seed %d", seed)
 		}
 		var buf bytes.Buffer
 		if err := json.Compact(&buf, r); err != nil {
-			return nil, fmt.Errorf("cluster: shard seed %d returned invalid JSON: %w", req.SeedStart+uint64(i), err)
+			return nil, fmt.Errorf("cluster: shard seed %d returned invalid JSON: %w", seed, err)
 		}
-		out.Shards[i] = ShardResult{Seed: req.SeedStart + uint64(i), Result: buf.Bytes()}
+		out.Shards[i] = ShardResult{Seed: seed, Scheme: sc, Result: buf.Bytes()}
 	}
 	if req.Kind == KindFailureProbability {
 		if err := reduceCurves(out); err != nil {

@@ -264,6 +264,7 @@ type ShardEvent struct {
 	Type    string    `json:"type"`
 	Shard   int       `json:"shard"`
 	Seed    uint64    `json:"seed"`
+	Scheme  string    `json:"scheme,omitempty"`
 	Backend string    `json:"backend,omitempty"`
 	Attempt int       `json:"attempt,omitempty"`
 	Err     string    `json:"error,omitempty"`
@@ -287,7 +288,7 @@ func (h *SweepHooks) emit(typ string, sh shard, backend string, attempt int, err
 	}
 	ev := ShardEvent{
 		Time: time.Now(), Type: typ, Shard: sh.index, Seed: sh.seed,
-		Backend: backend, Attempt: attempt,
+		Scheme: sh.scheme, Backend: backend, Attempt: attempt,
 	}
 	if err != nil {
 		ev.Err = err.Error()
@@ -362,6 +363,9 @@ func (c *Coordinator) runShard(ctx context.Context, sh shard, hooks *SweepHooks)
 	ctx, span := obs.Start(ctx, "shard")
 	span.SetAttr("seed", strconv.FormatUint(sh.seed, 10))
 	span.SetAttr("kind", sh.kind)
+	if sh.scheme != "" {
+		span.SetAttr("scheme", sh.scheme)
+	}
 	defer func() {
 		span.SetError(err)
 		span.End()

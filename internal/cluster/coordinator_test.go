@@ -75,6 +75,63 @@ func TestShardsCanonicalParams(t *testing.T) {
 	}
 }
 
+// TestSchemeMatrixShards pins the scheme-matrix shard layout: specs are
+// canonicalized at Normalize, shards enumerate scheme-major (all seeds of
+// scheme 0 first), and each shard's params carry exactly its one spec.
+func TestSchemeMatrixShards(t *testing.T) {
+	r := SweepRequest{
+		Kind:      KindLifetime,
+		Params:    map[string]any{"app": "milc", "scale": "quick"},
+		SeedStart: 3,
+		SeedCount: 2,
+		Schemes:   []string{"BASELINE", "enc=coset4,comp=bdi"},
+	}
+	if err := r.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	wantSpecs := []string{"baseline", "comp=bdi,ecc=ecp6,enc=coset4,wl=startgap"}
+	if len(r.Schemes) != 2 || r.Schemes[0] != wantSpecs[0] || r.Schemes[1] != wantSpecs[1] {
+		t.Fatalf("canonicalized schemes = %v, want %v", r.Schemes, wantSpecs)
+	}
+	if r.ShardCount() != 4 {
+		t.Fatalf("ShardCount = %d, want 4", r.ShardCount())
+	}
+	shards, err := r.shards()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 4 {
+		t.Fatalf("len(shards) = %d, want 4", len(shards))
+	}
+	for i, sh := range shards {
+		wantSeed := uint64(3 + i%2)
+		wantScheme := wantSpecs[i/2]
+		if sh.seed != wantSeed || sh.scheme != wantScheme || sh.index != i {
+			t.Fatalf("shard %d = {seed %d scheme %q index %d}, want {seed %d scheme %q index %d}",
+				i, sh.seed, sh.scheme, sh.index, wantSeed, wantScheme, i)
+		}
+		var p map[string]any
+		if err := json.Unmarshal(sh.params, &p); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := p["schemes"].([]any)
+		if len(got) != 1 || got[0] != wantScheme {
+			t.Fatalf("shard %d params schemes = %v, want [%q]", i, got, wantScheme)
+		}
+	}
+
+	for _, bad := range []SweepRequest{
+		{Kind: KindCompression, Schemes: []string{"baseline"}},
+		{Kind: KindLifetime, Schemes: []string{"nonsense=1"}},
+		{Kind: KindLifetime, Schemes: []string{"comp", "comp=bdi+fpc,ecc=ecp6,wl=startgap"}},
+		{Kind: KindLifetime, SeedCount: maxSeeds / 2, Schemes: []string{"baseline", "comp", "comp+w"}},
+	} {
+		if err := bad.Normalize(); err == nil {
+			t.Errorf("Normalize(%+v): want error", bad)
+		}
+	}
+}
+
 func TestSweepMergesInSeedOrder(t *testing.T) {
 	// Delay shards by a decreasing amount so completion order is reversed
 	// from seed order; the merged document must still be seed-ascending.

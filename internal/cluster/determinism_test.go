@@ -46,6 +46,20 @@ func TestShardedSweepBitIdentical(t *testing.T) {
 			},
 		},
 		{
+			// The scheme matrix multiplies the shard axis: seeds x schemes,
+			// scheme-major. The merged document must still be byte-stable
+			// across backend counts.
+			name: "lifetime-scheme-matrix",
+			req: cluster.SweepRequest{
+				Kind: cluster.KindLifetime,
+				Params: map[string]any{
+					"app": "milc", "scale": "quick", "max_demand_writes": 10000,
+				},
+				SeedStart: 1, SeedCount: 2,
+				Schemes: []string{"baseline", "comp", "enc=coset4"},
+			},
+		},
+		{
 			name: "failure-probability",
 			req: cluster.SweepRequest{
 				Kind: cluster.KindFailureProbability,

@@ -18,6 +18,11 @@ import (
 type Compressor struct {
 	// FVC, when non-nil, adds frequent-value compression to the race.
 	FVC *fvc.Dict
+	// DisableBDI / DisableFPC remove a codec from the race; the zero value
+	// keeps the default BDI+FPC configuration. Disabling everything (and
+	// attaching no FVC dictionary) degenerates to uncompressed storage.
+	DisableBDI bool
+	DisableFPC bool
 
 	buf []byte // payload scratch reused across calls
 }
@@ -31,10 +36,17 @@ func (c *Compressor) Compress(b *block.Block) Result {
 		c.buf = make([]byte, 0, block.Size)
 	}
 
-	// Phase 1: size race, no output materialized.
+	// Phase 1: size race, no output materialized. A disabled codec races
+	// with the uncompressible worst case so it can never win.
 	bdiEnc := bdi.Analyze(b)
-	bdiSize := bdiEnc.CompressedSize()
-	fpcSize := fpc.CompressedSize(b)
+	bdiSize := block.Size
+	if !c.DisableBDI {
+		bdiSize = bdiEnc.CompressedSize()
+	}
+	fpcSize := block.Size
+	if !c.DisableFPC {
+		fpcSize = fpc.CompressedSize(b)
+	}
 
 	enc := EncUncompressed
 	bestSize := block.Size

@@ -25,8 +25,10 @@ import (
 
 	"pcmcomp/internal/block"
 	"pcmcomp/internal/compress"
+	"pcmcomp/internal/compress/fvc"
 	"pcmcomp/internal/ecc"
 	"pcmcomp/internal/ecc/ecp"
+	"pcmcomp/internal/encode"
 	"pcmcomp/internal/pcm"
 	"pcmcomp/internal/wear"
 )
@@ -59,16 +61,78 @@ func (s SystemKind) String() string {
 	}
 }
 
-// usesCompression reports whether the system compresses write-backs.
-func (s SystemKind) usesCompression() bool { return s != Baseline }
+// CanonicalName returns the lowercase request/CLI spelling of the system,
+// the form SystemByName round-trips.
+func (s SystemKind) CanonicalName() string {
+	switch s {
+	case Baseline:
+		return "baseline"
+	case Comp:
+		return "comp"
+	case CompW:
+		return "comp+w"
+	case CompWF:
+		return "comp+wf"
+	default:
+		return fmt.Sprintf("systemkind(%d)", int(s))
+	}
+}
 
-// usesIntraWL reports whether the system rotates window origins.
-func (s SystemKind) usesIntraWL() bool { return s == CompW || s == CompWF }
+// SystemByName maps the request/CLI spellings onto SystemKind, accepting
+// the "+"-less aliases; unknown names report the valid set, mirroring
+// config.ByName.
+func SystemByName(name string) (SystemKind, error) {
+	switch name {
+	case "baseline":
+		return Baseline, nil
+	case "comp":
+		return Comp, nil
+	case "comp+w", "compw":
+		return CompW, nil
+	case "comp+wf", "compwf":
+		return CompWF, nil
+	default:
+		return 0, fmt.Errorf("unknown system %q (want baseline, comp, comp+w, or comp+wf)", name)
+	}
+}
 
 // Config parameterizes a Controller.
+//
+// A controller is defined by four independent capabilities — compression,
+// intra-line rotation, Start-Gap, and dead-line resurrection — plus the
+// hard-error scheme and an optional write-encoder stage. The paper's four
+// systems are presets over those capabilities: setting System to a
+// SystemKind makes New fill the capability flags to match, which is how
+// every pre-registry caller keeps its exact behavior. A composed scheme
+// (internal/scheme) instead leaves System zero, names itself with Label,
+// and sets the capabilities directly.
 type Config struct {
-	// System selects the evaluated system.
+	// System, when non-zero, selects one of the paper's presets and
+	// overrides the capability flags below.
 	System SystemKind
+	// Label names a composed (non-preset) configuration; required when
+	// System is zero.
+	Label string
+	// UseCompression stores write-backs compressed (preset: all but
+	// Baseline).
+	UseCompression bool
+	// UseIntraWL rotates window origins per bank (preset: Comp+W, Comp+WF).
+	UseIntraWL bool
+	// UseStartGap enables inter-line Start-Gap wear leveling (preset: all
+	// four systems).
+	UseStartGap bool
+	// Resurrect lets Start-Gap copies re-attempt placement on dead lines
+	// (preset: Comp+WF).
+	Resurrect bool
+	// Encoder is an optional write-encoder stage applied to each window
+	// before the differential write (nil = none; see internal/encode).
+	Encoder encode.Encoder
+	// FVC, when non-nil, adds frequent-value compression to the codec race.
+	FVC *fvc.Dict
+	// DisableBDI / DisableFPC remove a codec from the race (the zero value
+	// keeps the paper's BDI+FPC configuration).
+	DisableBDI bool
+	DisableFPC bool
 	// Memory configures the PCM substrate.
 	Memory pcm.Config
 	// Scheme is the hard-error tolerance scheme (nil selects ECP-6, the
@@ -150,12 +214,28 @@ type Controller struct {
 	// comp is the controller's reusable compression front-end; its scratch
 	// buffer keeps the steady-state write path allocation-free.
 	comp compress.Compressor
+	// energy prices the SET/RESET pulses for the encoder-stage accounting.
+	energy pcm.EnergyModel
+	// encNew/encOld/encSel are the write-encoder stage's fixed scratch
+	// (window bytes, current cell content, per-word selectors), sized for
+	// the largest window so the hot path stays allocation-free.
+	encNew, encOld [block.Size]byte
+	encSel         [block.Size]uint8
 }
 
 // New creates a controller. It returns an error for invalid configuration.
 func New(cfg Config) (*Controller, error) {
 	switch cfg.System {
 	case Baseline, Comp, CompW, CompWF:
+		// Preset: the SystemKind defines the capabilities.
+		cfg.UseCompression = cfg.System != Baseline
+		cfg.UseIntraWL = cfg.System == CompW || cfg.System == CompWF
+		cfg.UseStartGap = true
+		cfg.Resurrect = cfg.System == CompWF
+	case 0:
+		if cfg.Label == "" {
+			return nil, fmt.Errorf("core: unknown system kind %d (set System to a preset or Label a composed scheme)", cfg.System)
+		}
 	default:
 		return nil, fmt.Errorf("core: unknown system kind %d", cfg.System)
 	}
@@ -184,9 +264,11 @@ func New(cfg Config) (*Controller, error) {
 
 	g := cfg.Memory.Geometry
 	c := &Controller{
-		cfg:   cfg,
-		mem:   pcm.New(cfg.Memory),
-		banks: make([]bankState, g.Banks()),
+		cfg:    cfg,
+		mem:    pcm.New(cfg.Memory),
+		banks:  make([]bankState, g.Banks()),
+		comp:   compress.Compressor{FVC: cfg.FVC, DisableBDI: cfg.DisableBDI, DisableFPC: cfg.DisableFPC},
+		energy: pcm.DefaultEnergyModel(),
 	}
 	logicalRows := g.LinesPerBank - 1 // one physical row is the Start-Gap spare
 	for i := range c.banks {
@@ -207,8 +289,18 @@ func New(cfg Config) (*Controller, error) {
 	return c, nil
 }
 
-// System returns the controller's system kind.
+// System returns the controller's system kind (zero for a composed,
+// non-preset scheme; see Label).
 func (c *Controller) System() SystemKind { return c.cfg.System }
+
+// Label returns the human-readable name of the controller's composition:
+// the configured Label for a composed scheme, else the preset's name.
+func (c *Controller) Label() string {
+	if c.cfg.Label != "" {
+		return c.cfg.Label
+	}
+	return c.cfg.System.String()
+}
 
 // Scheme returns the hard-error tolerance scheme in use.
 func (c *Controller) Scheme() ecc.Scheme { return c.cfg.Scheme }
@@ -256,7 +348,7 @@ func (c *Controller) Read(addr int) (block.Block, int, error) {
 	if !meta.written() {
 		return out, 0, fmt.Errorf("core: line %d has never been written", addr)
 	}
-	out, err := compress.Decompress(meta.enc, meta.payload)
+	out, err := c.comp.Decompress(meta.enc, meta.payload)
 	if err != nil {
 		return out, 0, fmt.Errorf("core: corrupt line %d: %w", addr, err)
 	}

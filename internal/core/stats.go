@@ -1,6 +1,9 @@
 package core
 
-import "pcmcomp/internal/stats"
+import (
+	"pcmcomp/internal/pcm"
+	"pcmcomp/internal/stats"
+)
 
 // Stats aggregates the controller's lifetime-relevant counters. All fields
 // are cumulative since construction.
@@ -39,9 +42,24 @@ type Stats struct {
 	// bits only when the compressed size class changes.
 	StartPointerUpdates uint64
 	EncodingUpdates     uint64
+	// EncodedWrites counts window writes that passed through the
+	// write-encoder stage; EncoderFlipsSaved is the cells the stage
+	// avoided programming versus the unencoded writes (negative when an
+	// energy-minimizing encoder traded extra SETs for expensive RESETs),
+	// and EncoderEnergySavedPJ the corresponding pulse-energy saving.
+	EncodedWrites        uint64
+	EncoderFlipsSaved    int64
+	EncoderEnergySavedPJ float64
 	// DeathFaultCells tracks, over line-death events, how many faulty
 	// cells the line had accumulated when it died (Fig 12's metric).
 	DeathFaultCells stats.Running
+}
+
+// WriteEnergyPJ prices the accumulated SET/RESET pulses under the default
+// energy model — the per-scheme write-energy figure sweeps report.
+func (s Stats) WriteEnergyPJ() float64 {
+	m := pcm.DefaultEnergyModel()
+	return m.SETpJ*float64(s.SetPulses) + m.RESETpJ*float64(s.ResetPulses)
 }
 
 // Stats returns a snapshot of the controller's counters.

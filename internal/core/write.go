@@ -4,6 +4,7 @@ import (
 	"pcmcomp/internal/block"
 	"pcmcomp/internal/compress"
 	"pcmcomp/internal/ecc"
+	"pcmcomp/internal/encode"
 	"pcmcomp/internal/pcm"
 	"pcmcomp/internal/wear"
 )
@@ -40,7 +41,7 @@ func (c *Controller) Write(addr int, data *block.Block) Outcome {
 
 	// Intra-line wear-leveling: one counter per bank; saturation rotates
 	// the bank's window origin (§III-A.2).
-	if c.cfg.System.usesIntraWL() {
+	if c.cfg.UseIntraWL {
 		if bs.rot.OnWrite() {
 			c.stats.Rotations++
 		}
@@ -48,10 +49,13 @@ func (c *Controller) Write(addr int, data *block.Block) Outcome {
 
 	// Inter-line wear-leveling: Start-Gap may move one line now. The copy
 	// itself is a write that wears cells and re-runs placement — this is
-	// also where Comp+WF re-checks dead lines (§III-A.3).
-	if mv, moved := bs.sg.OnWrite(); moved {
-		c.stats.GapMovements++
-		c.moveLine(bank, mv)
+	// also where resurrecting systems re-check dead lines (§III-A.3).
+	// Without Start-Gap the mapping stays identity (the gap never moves).
+	if c.cfg.UseStartGap {
+		if mv, moved := bs.sg.OnWrite(); moved {
+			c.stats.GapMovements++
+			c.moveLine(bank, mv)
+		}
 	}
 
 	row := bs.sg.Map(lrow)
@@ -71,7 +75,7 @@ func (c *Controller) moveLine(bank int, mv wear.Movement) {
 		*from = lineMeta{dead: from.dead}
 		return
 	}
-	logical, err := compress.Decompress(from.enc, from.payload)
+	logical, err := c.comp.Decompress(from.enc, from.payload)
 	if err != nil {
 		// Metadata corruption cannot happen with invariant payloads;
 		// treat defensively as a dropped line.
@@ -99,7 +103,7 @@ func (c *Controller) writePhysical(bank, row int, data *block.Block, isMove bool
 	meta := &bs.meta[row]
 	c.stats.Writes++
 
-	if meta.dead && !(c.cfg.System == CompWF && isMove) {
+	if meta.dead && !(c.cfg.Resurrect && isMove) {
 		c.stats.UncorrectableErrors++
 		c.stats.DroppedWrites++
 		return Outcome{}
@@ -176,7 +180,7 @@ func (c *Controller) writePhysical(bank, row int, data *block.Block, isMove bool
 // always stored compressed; size-unstable lines (saturated SC) are stored
 // raw to avoid the extra bit flips compression entropy would cause.
 func (c *Controller) chooseRepresentation(meta *lineMeta, data *block.Block) ([]byte, compress.Encoding) {
-	if !c.cfg.System.usesCompression() {
+	if !c.cfg.UseCompression {
 		return data[:], compress.EncUncompressed
 	}
 	// The Compressor's scratch-backed result is only valid until its next
@@ -244,7 +248,7 @@ func (c *Controller) place(bs *bankState, meta *lineMeta, faults *ecc.FaultSet, 
 	// Fast path: a fault-free line accepts the preferred origin directly.
 	noFaults := faults.Count() == 0
 
-	if c.cfg.System.usesIntraWL() {
+	if c.cfg.UseIntraWL {
 		preferred := bs.rot.Offset()
 		if noFaults || c.cfg.Scheme.Correctable(faults, preferred, size) {
 			return preferred, true
@@ -278,7 +282,11 @@ func (c *Controller) place(bs *bankState, meta *lineMeta, faults *ecc.FaultSet, 
 // at the (possibly wrapping) window starting at origin, and performs the
 // differential write of the affected byte range(s). With UseFNW set, the
 // payload or its complement — whichever flips fewer cells — is written, and
-// the choice is modeled as a per-window flip bit.
+// the choice is modeled as a per-window flip bit. A configured Encoder then
+// transforms the window word-by-word against the current cell content (the
+// per-word selectors model auxiliary metadata, like FNW's flip bit), so the
+// cells receive the cheaper encoded image while reads keep returning the
+// logical payload.
 func (c *Controller) writeWindow(line *pcm.Line, payload []byte, origin int) pcm.WriteResult {
 	size := len(payload)
 	target := *line.Data()
@@ -304,6 +312,26 @@ func (c *Controller) writeWindow(line *pcm.Line, payload []byte, origin int) pcm
 			}
 			c.stats.FNWInversions++
 		}
+	}
+
+	if enc := c.cfg.Encoder; enc != nil {
+		old := line.Data()
+		for i := 0; i < size; i++ {
+			idx := (origin + i) % block.Size
+			c.encNew[i] = target[idx]
+			c.encOld[i] = old[idx]
+		}
+		sets0, resets0 := encode.Pulses(c.encOld[:size], c.encNew[:size])
+		words := encode.Words(size, enc.WordBytes())
+		enc.Encode(c.encNew[:size], c.encOld[:size], c.encSel[:words])
+		sets1, resets1 := encode.Pulses(c.encOld[:size], c.encNew[:size])
+		for i := 0; i < size; i++ {
+			target[(origin+i)%block.Size] = c.encNew[i]
+		}
+		c.stats.EncodedWrites++
+		c.stats.EncoderFlipsSaved += int64(sets0+resets0) - int64(sets1+resets1)
+		c.stats.EncoderEnergySavedPJ += c.energy.WriteEnergyPJ(sets0, resets0) -
+			c.energy.WriteEnergyPJ(sets1, resets1)
 	}
 
 	res := line.WriteWindow(&target, origin, head)

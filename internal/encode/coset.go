@@ -1,0 +1,95 @@
+package encode
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// cosetMasks is the fixed candidate-mask family, identity first. The
+// restricted coset construction picks masks that cover the common failure
+// patterns of differential writes: all-ones catches near-complement
+// updates, the alternating masks catch toggling low bits, and the
+// half-word masks (k=8) catch updates confined to one 16-bit half or to
+// alternating bytes.
+var cosetMasks = [8]uint32{
+	0x00000000, 0xFFFFFFFF, 0xAAAAAAAA, 0x55555555,
+	0xFFFF0000, 0x0000FFFF, 0xFF00FF00, 0x00FF00FF,
+}
+
+// Coset implements word-level restricted coset coding: each 32-bit word is
+// XORed with the one of its k candidate masks that minimizes bit flips
+// against the cells' current content. log2(k) auxiliary bits per word
+// record the choice. Because the identity mask is candidate 0 and ties
+// resolve to the lowest index, an encoded write never programs more cells
+// than the unencoded write would.
+type Coset struct {
+	k    int
+	name string
+}
+
+// NewCoset builds a coset encoder with k candidate masks per word
+// (k must be 2, 4, or 8; the aux cost is log2(k) bits per 32-bit word).
+func NewCoset(k int) (*Coset, error) {
+	switch k {
+	case 2, 4, 8:
+		return &Coset{k: k, name: fmt.Sprintf("coset%d", k)}, nil
+	default:
+		return nil, fmt.Errorf("encode: coset k must be 2, 4, or 8, got %d", k)
+	}
+}
+
+func (c *Coset) Name() string   { return c.name }
+func (c *Coset) WordBytes() int { return 4 }
+func (c *Coset) AuxBitsPerWord() int {
+	return bits.Len(uint(c.k - 1))
+}
+
+// maskByte extracts the mask byte for byte j of a word (little-endian lane
+// order; only consistency between Encode and Decode matters).
+func maskByte(mask uint32, j int) byte { return byte(mask >> (8 * uint(j))) }
+
+// Encode XORs each (possibly partial) 4-byte word of buf with its
+// flip-minimizing candidate mask, given the current cell content old.
+func (c *Coset) Encode(buf, old []byte, sel []uint8) {
+	word := 0
+	for i := 0; i < len(buf); i += 4 {
+		w := len(buf) - i
+		if w > 4 {
+			w = 4
+		}
+		best, bestFlips := 0, -1
+		for m := 0; m < c.k; m++ {
+			flips := 0
+			for j := 0; j < w; j++ {
+				flips += bits.OnesCount8((buf[i+j] ^ maskByte(cosetMasks[m], j)) ^ old[i+j])
+			}
+			if bestFlips < 0 || flips < bestFlips {
+				best, bestFlips = m, flips
+			}
+		}
+		if best != 0 {
+			for j := 0; j < w; j++ {
+				buf[i+j] ^= maskByte(cosetMasks[best], j)
+			}
+		}
+		sel[word] = uint8(best)
+		word++
+	}
+}
+
+// Decode re-XORs each word with its recorded mask.
+func (c *Coset) Decode(buf []byte, sel []uint8) {
+	word := 0
+	for i := 0; i < len(buf); i += 4 {
+		w := len(buf) - i
+		if w > 4 {
+			w = 4
+		}
+		if m := int(sel[word]); m != 0 {
+			for j := 0; j < w; j++ {
+				buf[i+j] ^= maskByte(cosetMasks[m], j)
+			}
+		}
+		word++
+	}
+}

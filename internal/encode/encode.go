@@ -1,0 +1,65 @@
+// Package encode implements write-encoding stages for the PCM write path:
+// transforms applied to a write's data — relative to the cells' current
+// content — that reduce programming cost, at the price of a few auxiliary
+// metadata bits per word recording which transform was chosen.
+//
+// Two encoders from the retrieved related work are provided:
+//
+//   - Coset: word-level restricted coset coding (Seyedzadeh et al.) — each
+//     32-bit word is XORed with one of k candidate masks and the mask
+//     minimizing bit flips is kept. The identity mask is always candidate
+//     0, so an encoded write never flips more cells than the plain write.
+//   - Wire: WIRE-style flip-minimizing encoding (Desai et al.) — each
+//     16-bit word is stored as-is or complemented, whichever costs less
+//     write energy under the asymmetric SET/RESET pulse energies.
+//
+// Encoders are allocation-free: callers pass the data, the current cell
+// content, and a selector scratch slice; Encode rewrites the data in place
+// and records one selector per word. Decode inverts the transform from the
+// selectors. In the simulator the selectors model the per-line auxiliary
+// metadata a real implementation stores in the ECC chip's spare bits.
+package encode
+
+import "math/bits"
+
+// Encoder is one write-encoding stage.
+type Encoder interface {
+	// Name is the registry spelling (e.g. "coset4", "wire").
+	Name() string
+	// WordBytes is the transform granularity in bytes.
+	WordBytes() int
+	// AuxBitsPerWord is the selector width: the metadata cost per word.
+	AuxBitsPerWord() int
+	// Encode rewrites buf in place given the cells' current content old
+	// (same length), recording the per-word transform choice in sel. sel
+	// must have at least ceil(len(buf)/WordBytes()) entries.
+	Encode(buf, old []byte, sel []uint8)
+	// Decode inverts Encode in place using the recorded selectors.
+	Decode(buf []byte, sel []uint8)
+}
+
+// Words returns how many transform words an n-byte buffer spans for the
+// given word size (the last word may be partial).
+func Words(n, wordBytes int) int {
+	return (n + wordBytes - 1) / wordBytes
+}
+
+// Flips counts the differing bits between two equal-length byte slices —
+// the cells a differential write of new over old would program.
+func Flips(a, b []byte) int {
+	n := 0
+	for i := range a {
+		n += bits.OnesCount8(a[i] ^ b[i])
+	}
+	return n
+}
+
+// Pulses splits a differential write's programmed cells into SET (0->1)
+// and RESET (1->0) pulse counts.
+func Pulses(old, new []byte) (sets, resets int) {
+	for i := range old {
+		sets += bits.OnesCount8(^old[i] & new[i])
+		resets += bits.OnesCount8(old[i] & ^new[i])
+	}
+	return sets, resets
+}

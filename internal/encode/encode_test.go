@@ -1,0 +1,150 @@
+package encode
+
+import (
+	"math/rand"
+	"testing"
+
+	"pcmcomp/internal/pcm"
+)
+
+func TestCosetConstruction(t *testing.T) {
+	for _, k := range []int{2, 4, 8} {
+		c, err := NewCoset(k)
+		if err != nil {
+			t.Fatalf("NewCoset(%d): %v", k, err)
+		}
+		wantAux := map[int]int{2: 1, 4: 2, 8: 3}[k]
+		if c.AuxBitsPerWord() != wantAux {
+			t.Errorf("coset%d aux bits = %d, want %d", k, c.AuxBitsPerWord(), wantAux)
+		}
+		if c.WordBytes() != 4 {
+			t.Errorf("coset%d word bytes = %d, want 4", k, c.WordBytes())
+		}
+	}
+	for _, k := range []int{0, 1, 3, 5, 16} {
+		if _, err := NewCoset(k); err == nil {
+			t.Errorf("NewCoset(%d) accepted an invalid k", k)
+		}
+	}
+}
+
+func TestCosetNeverWorseThanIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c, _ := NewCoset(8)
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(64)
+		old := make([]byte, n)
+		data := make([]byte, n)
+		rng.Read(old)
+		rng.Read(data)
+		orig := append([]byte(nil), data...)
+		sel := make([]uint8, Words(n, c.WordBytes()))
+		c.Encode(data, old, sel)
+		if got, id := Flips(data, old), Flips(orig, old); got > id {
+			t.Fatalf("n=%d: encoded flips %d > identity flips %d", n, got, id)
+		}
+		c.Decode(data, sel)
+		for i := range data {
+			if data[i] != orig[i] {
+				t.Fatalf("n=%d: round trip mismatch at byte %d", n, i)
+			}
+		}
+	}
+}
+
+// TestCosetComplementWin checks the canonical win: rewriting a word with
+// its complement flips zero cells after the all-ones mask.
+func TestCosetComplementWin(t *testing.T) {
+	c, _ := NewCoset(2)
+	old := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	data := []byte{^old[0] ^ 0, ^old[1], ^old[2], ^old[3]}
+	sel := make([]uint8, 1)
+	c.Encode(data, old, sel)
+	if sel[0] != 1 {
+		t.Fatalf("selector = %d, want 1 (all-ones mask)", sel[0])
+	}
+	if got := Flips(data, old); got != 0 {
+		t.Fatalf("encoded flips = %d, want 0", got)
+	}
+}
+
+func TestWireNeverCostlierThanIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	model := pcm.DefaultEnergyModel()
+	w := NewWire(model)
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(64)
+		old := make([]byte, n)
+		data := make([]byte, n)
+		rng.Read(old)
+		rng.Read(data)
+		orig := append([]byte(nil), data...)
+		sel := make([]uint8, Words(n, w.WordBytes()))
+		w.Encode(data, old, sel)
+		s, r := Pulses(old, data)
+		is, ir := Pulses(old, orig)
+		if got, id := model.WriteEnergyPJ(s, r), model.WriteEnergyPJ(is, ir); got > id {
+			t.Fatalf("n=%d: encoded energy %g > identity energy %g", n, got, id)
+		}
+		w.Decode(data, sel)
+		for i := range data {
+			if data[i] != orig[i] {
+				t.Fatalf("n=%d: round trip mismatch at byte %d", n, i)
+			}
+		}
+	}
+}
+
+// TestWirePrefersSetsOverResets pins the asymmetry: a word whose identity
+// write is all RESETs is complemented when the SET-heavy complement is
+// cheaper.
+func TestWirePrefersSetsOverResets(t *testing.T) {
+	w := NewWire(pcm.EnergyModel{SETpJ: 1, RESETpJ: 10})
+	old := []byte{0xFF, 0xFF}
+	data := []byte{0x00, 0x00} // identity: 16 resets; complement: 0 pulses
+	sel := make([]uint8, 1)
+	w.Encode(data, old, sel)
+	if sel[0] != 1 {
+		t.Fatalf("selector = %d, want 1 (complement)", sel[0])
+	}
+	if data[0] != 0xFF || data[1] != 0xFF {
+		t.Fatalf("encoded bytes = %x, want ffff", data)
+	}
+}
+
+func TestWireTieKeepsIdentity(t *testing.T) {
+	w := NewWire(pcm.DefaultEnergyModel())
+	old := []byte{0x0F, 0x0F}
+	data := append([]byte(nil), old...) // zero-cost write either way? identity costs 0
+	sel := make([]uint8, 1)
+	w.Encode(data, old, sel)
+	if sel[0] != 0 {
+		t.Fatalf("selector = %d, want 0 (identity on tie/zero cost)", sel[0])
+	}
+}
+
+func TestWords(t *testing.T) {
+	cases := []struct{ n, w, want int }{
+		{0, 4, 0}, {1, 4, 1}, {4, 4, 1}, {5, 4, 2}, {64, 4, 16},
+		{1, 2, 1}, {2, 2, 1}, {3, 2, 2}, {64, 2, 32},
+	}
+	for _, c := range cases {
+		if got := Words(c.n, c.w); got != c.want {
+			t.Errorf("Words(%d,%d) = %d, want %d", c.n, c.w, got, c.want)
+		}
+	}
+}
+
+func TestPulsesMatchesFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		a := make([]byte, 64)
+		b := make([]byte, 64)
+		rng.Read(a)
+		rng.Read(b)
+		s, r := Pulses(a, b)
+		if s+r != Flips(a, b) {
+			t.Fatalf("sets %d + resets %d != flips %d", s, r, Flips(a, b))
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package encode
+
+import (
+	"bytes"
+	"testing"
+
+	"pcmcomp/internal/pcm"
+)
+
+// Native fuzzing for the write encoders: for any data/old pair the encode
+// must round-trip losslessly through Decode, and the cost invariants must
+// hold — coset never flips more cells than identity, wire never costs more
+// energy than identity.
+
+// pairUp splits one fuzz input into equal-length data and old halves,
+// capped at a line's 64 bytes.
+func pairUp(in []byte) (data, old []byte) {
+	n := len(in) / 2
+	if n > 64 {
+		n = 64
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	return append([]byte(nil), in[:n]...), append([]byte(nil), in[n:2*n]...)
+}
+
+func FuzzCosetRoundTrip(f *testing.F) {
+	f.Add(make([]byte, 128))
+	f.Add(bytes.Repeat([]byte{0xa5, 0x5a}, 33))
+	f.Add([]byte{0xff, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		data, old := pairUp(in)
+		if data == nil {
+			return
+		}
+		for _, k := range []int{2, 4, 8} {
+			c, err := NewCoset(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := append([]byte(nil), data...)
+			sel := make([]uint8, Words(len(buf), c.WordBytes()))
+			c.Encode(buf, old, sel)
+			if got, id := Flips(buf, old), Flips(data, old); got > id {
+				t.Fatalf("coset%d: encoded flips %d > identity %d", k, got, id)
+			}
+			c.Decode(buf, sel)
+			if !bytes.Equal(buf, data) {
+				t.Fatalf("coset%d: round trip mismatch", k)
+			}
+		}
+	})
+}
+
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(make([]byte, 128))
+	f.Add(bytes.Repeat([]byte{0xff, 0x00}, 40))
+	f.Add([]byte{0x80, 0x7f, 0x55})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		data, old := pairUp(in)
+		if data == nil {
+			return
+		}
+		model := pcm.DefaultEnergyModel()
+		w := NewWire(model)
+		buf := append([]byte(nil), data...)
+		sel := make([]uint8, Words(len(buf), w.WordBytes()))
+		w.Encode(buf, old, sel)
+		s, r := Pulses(old, buf)
+		is, ir := Pulses(old, data)
+		if got, id := model.WriteEnergyPJ(s, r), model.WriteEnergyPJ(is, ir); got > id {
+			t.Fatalf("wire: encoded energy %g > identity %g", got, id)
+		}
+		w.Decode(buf, sel)
+		if !bytes.Equal(buf, data) {
+			t.Fatal("wire: round trip mismatch")
+		}
+	})
+}

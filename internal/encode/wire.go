@@ -1,0 +1,63 @@
+package encode
+
+import "pcmcomp/internal/pcm"
+
+// Wire implements WIRE-style flip-minimizing write encoding: each 16-bit
+// word is stored either as-is or complemented, whichever write costs less
+// energy under the asymmetric SET/RESET pulse energies (RESET pulses are
+// the expensive ones, so trading resets for sets can pay even when it
+// programs more cells). One auxiliary bit per word records the choice.
+// Ties resolve to identity, so the encoded write's energy never exceeds
+// the unencoded write's.
+type Wire struct {
+	model pcm.EnergyModel
+}
+
+// NewWire builds a WIRE encoder over the given pulse-energy model.
+func NewWire(model pcm.EnergyModel) *Wire { return &Wire{model: model} }
+
+func (w *Wire) Name() string        { return "wire" }
+func (w *Wire) WordBytes() int      { return 2 }
+func (w *Wire) AuxBitsPerWord() int { return 1 }
+
+// Encode complements each (possibly partial) 2-byte word of buf when the
+// complemented differential write against old costs less energy.
+func (w *Wire) Encode(buf, old []byte, sel []uint8) {
+	word := 0
+	for i := 0; i < len(buf); i += 2 {
+		n := len(buf) - i
+		if n > 2 {
+			n = 2
+		}
+		sets, resets := Pulses(old[i:i+n], buf[i:i+n])
+		idEnergy := w.model.WriteEnergyPJ(sets, resets)
+		var comp [2]byte
+		for j := 0; j < n; j++ {
+			comp[j] = ^buf[i+j]
+		}
+		sets, resets = Pulses(old[i:i+n], comp[:n])
+		sel[word] = 0
+		if w.model.WriteEnergyPJ(sets, resets) < idEnergy {
+			copy(buf[i:i+n], comp[:n])
+			sel[word] = 1
+		}
+		word++
+	}
+}
+
+// Decode re-complements the words whose selector bit is set.
+func (w *Wire) Decode(buf []byte, sel []uint8) {
+	word := 0
+	for i := 0; i < len(buf); i += 2 {
+		n := len(buf) - i
+		if n > 2 {
+			n = 2
+		}
+		if sel[word] != 0 {
+			for j := 0; j < n; j++ {
+				buf[i+j] = ^buf[i+j]
+			}
+		}
+		word++
+	}
+}

@@ -1,0 +1,95 @@
+package scheme
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pcmcomp/internal/compress/fvc"
+	"pcmcomp/internal/core"
+	"pcmcomp/internal/ecc"
+	"pcmcomp/internal/ecc/aegis"
+	"pcmcomp/internal/ecc/ecp"
+	"pcmcomp/internal/ecc/safer"
+	"pcmcomp/internal/ecc/secded"
+	"pcmcomp/internal/encode"
+	"pcmcomp/internal/pcm"
+)
+
+// defaultFVCValues is the fixed dictionary behind the "fvc" codec: the
+// most frequent 32-bit words of integer-dominated workloads (zero, small
+// immediates, sign extensions) — an 8-entry dictionary, so hits cost
+// 1 flag + 3 index bits per word.
+var defaultFVCValues = []uint32{
+	0x00000000, 0xFFFFFFFF, 0x00000001, 0x80000000,
+	0x7FFFFFFF, 0x00000002, 0x0000FFFF, 0xFFFF0000,
+}
+
+// eccByName builds the hard-error scheme for a registered ecc name.
+func eccByName(name string) (ecc.Scheme, error) {
+	switch name {
+	case "ecp6":
+		return ecp.New(6), nil
+	case "secded":
+		return secded.Scheme{}, nil
+	case "safer":
+		return safer.New(5), nil
+	case "aegis":
+		return aegis.New(17, 31)
+	default:
+		return nil, fmt.Errorf("scheme: unknown ecc scheme %q (want %s)", name, strings.Join(names(ECCs()), ", "))
+	}
+}
+
+// ControllerConfig resolves the spec into a controller configuration on
+// the given substrate: the paper's default thresholds and wear-leveling
+// parameters (core.DefaultConfig), with the spec's components composed as
+// capability flags. The config's Label is the canonical spec string, and
+// System stays zero — the controller runs on the capability path even for
+// the four presets (their equivalence to the SystemKind path is pinned by
+// this package's golden test).
+func (sp Spec) ControllerConfig(mem pcm.Config) (core.Config, error) {
+	cfg := core.DefaultConfig(0, mem)
+	cfg.System = 0
+	cfg.Label = sp.String()
+
+	cfg.UseCompression = len(sp.Comp) > 0
+	cfg.DisableBDI = !sp.has(sp.Comp, "bdi")
+	cfg.DisableFPC = !sp.has(sp.Comp, "fpc")
+	if sp.has(sp.Comp, "fvc") {
+		dict, err := fvc.NewDict(defaultFVCValues)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.FVC = dict
+	}
+
+	scheme, err := eccByName(sp.ECC)
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg.Scheme = scheme
+
+	switch {
+	case sp.Enc == "" || sp.Enc == "none":
+	case sp.Enc == "fnw":
+		cfg.UseFNW = true
+	case sp.Enc == "wire":
+		cfg.Encoder = encode.NewWire(pcm.DefaultEnergyModel())
+	case strings.HasPrefix(sp.Enc, "coset"):
+		k, err := strconv.Atoi(strings.TrimPrefix(sp.Enc, "coset"))
+		if err == nil {
+			cfg.Encoder, err = encode.NewCoset(k)
+		}
+		if err != nil {
+			return core.Config{}, fmt.Errorf("scheme: bad coset encoder %q: %w", sp.Enc, err)
+		}
+	default:
+		return core.Config{}, fmt.Errorf("scheme: unknown encoder %q (want %s)", sp.Enc, strings.Join(names(Encoders()), ", "))
+	}
+
+	cfg.UseStartGap = sp.has(sp.WL, "startgap")
+	cfg.UseIntraWL = sp.has(sp.WL, "intraline")
+	cfg.Resurrect = sp.Res
+	return cfg, nil
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"pcmcomp/internal/lifetime"
 	"pcmcomp/internal/montecarlo"
 	"pcmcomp/internal/obs"
+	"pcmcomp/internal/scheme"
 	"pcmcomp/internal/stats"
 	"pcmcomp/internal/workload"
 )
@@ -77,6 +79,21 @@ var paramsFor = map[Kind]func() params{
 	KindLifetime:           func() params { return &LifetimeParams{} },
 	KindFailureProbability: func() params { return &FailureProbabilityParams{} },
 	KindCompression:        func() params { return &CompressionParams{} },
+}
+
+// schemed is the optional params behavior that labels a job with the scheme
+// specs it runs (lifetime jobs). The labels feed the scheme-labeled metrics
+// and the flight-recorder timeline.
+type schemed interface {
+	schemeLabels() []string
+}
+
+// schemeLabelsOf extracts a job's scheme labels, nil for kinds without them.
+func schemeLabelsOf(p params) []string {
+	if s, ok := p.(schemed); ok {
+		return s.schemeLabels()
+	}
+	return nil
 }
 
 // jobProgress is a job's live progress meter, written atomically by the
@@ -375,7 +392,12 @@ func (s *store) add(kind Kind, p params, key string, now time.Time) *Job {
 		events:   obs.NewTimeline(0),
 	}
 	j.progress = &jobProgress{tl: j.events}
-	j.events.AddAt(now, "queued", "", "kind", string(kind))
+	fields := []string{"kind", string(kind)}
+	if labels := schemeLabelsOf(p); len(labels) > 0 {
+		// Specs contain commas, so the timeline field joins on ";".
+		fields = append(fields, "schemes", strings.Join(labels, ";"))
+	}
+	j.events.AddAt(now, "queued", "", fields...)
 	s.jobs[j.ID] = j
 	return j
 }
@@ -540,35 +562,26 @@ func (s *store) cancel(id string, now time.Time) (Job, cancelOutcome) {
 // --- lifetime jobs ---
 
 // LifetimeParams parameterize POST /v1/jobs/lifetime: the same run
-// cmd/lifetime performs, per requested system, on a generated trace.
+// cmd/lifetime performs, per requested system or scheme spec, on a
+// generated trace.
 type LifetimeParams struct {
 	// App is the workload profile name (required).
 	App string `json:"app"`
 	// Scale is the substrate preset name (default "quick").
 	Scale string `json:"scale"`
-	// Systems lists the systems to run (default all four, baseline first).
+	// Systems lists the paper systems to run (default all four, baseline
+	// first). Mutually exclusive with Schemes.
 	Systems []string `json:"systems"`
+	// Schemes lists scheme specs to run instead of Systems: preset names or
+	// key=value compositions like "comp=bdi+fpc,ecc=ecp6,enc=coset4,
+	// wl=startgap" (see internal/scheme). Canonicalized on normalize so
+	// spelling variants share a cache key.
+	Schemes []string `json:"schemes,omitempty"`
 	// Seed drives trace generation and endurance sampling (default 1,
 	// matching the CLI).
 	Seed uint64 `json:"seed"`
 	// MaxDemandWrites caps each run (0 = none).
 	MaxDemandWrites uint64 `json:"max_demand_writes"`
-}
-
-// systemByName maps the CLI spellings onto core.SystemKind.
-func systemByName(name string) (core.SystemKind, error) {
-	switch name {
-	case "baseline":
-		return core.Baseline, nil
-	case "comp":
-		return core.Comp, nil
-	case "comp+w", "compw":
-		return core.CompW, nil
-	case "comp+wf", "compwf":
-		return core.CompWF, nil
-	default:
-		return 0, fmt.Errorf("unknown system %q (want baseline, comp, comp+w, or comp+wf)", name)
-	}
 }
 
 func (p *LifetimeParams) normalize() error {
@@ -584,19 +597,35 @@ func (p *LifetimeParams) normalize() error {
 	if _, err := config.ByName(p.Scale); err != nil {
 		return err
 	}
-	if len(p.Systems) == 0 {
-		p.Systems = []string{"baseline", "comp", "comp+w", "comp+wf"}
-	}
-	for i, name := range p.Systems {
-		sys, err := systemByName(name)
-		if err != nil {
-			return err
+	if len(p.Schemes) > 0 {
+		if len(p.Systems) > 0 {
+			return fmt.Errorf("systems and schemes are mutually exclusive")
 		}
-		// Canonical spelling, so "compwf" and "comp+wf" share a cache key.
-		p.Systems[i] = map[core.SystemKind]string{
-			core.Baseline: "baseline", core.Comp: "comp",
-			core.CompW: "comp+w", core.CompWF: "comp+wf",
-		}[sys]
+		seen := make(map[string]bool, len(p.Schemes))
+		for i, spec := range p.Schemes {
+			sp, err := scheme.Parse(spec)
+			if err != nil {
+				return err
+			}
+			// Canonical spec string, so spelling variants share a cache key.
+			p.Schemes[i] = sp.String()
+			if seen[p.Schemes[i]] {
+				return fmt.Errorf("duplicate scheme %q", p.Schemes[i])
+			}
+			seen[p.Schemes[i]] = true
+		}
+	} else {
+		if len(p.Systems) == 0 {
+			p.Systems = []string{"baseline", "comp", "comp+w", "comp+wf"}
+		}
+		for i, name := range p.Systems {
+			sys, err := core.SystemByName(name)
+			if err != nil {
+				return err
+			}
+			// Canonical spelling, so "compwf" and "comp+wf" share a cache key.
+			p.Systems[i] = sys.CanonicalName()
+		}
 	}
 	if p.Seed == 0 {
 		p.Seed = 1
@@ -604,7 +633,19 @@ func (p *LifetimeParams) normalize() error {
 	return nil
 }
 
-// LifetimeSystemResult is one system's row of a lifetime job result.
+// schemeLabels returns the canonical scheme specs this job runs — the
+// explicit Schemes axis, or the requested presets (every preset name is a
+// valid spec). Feeds the scheme-labeled metrics and flight-recorder events.
+func (p *LifetimeParams) schemeLabels() []string {
+	if len(p.Schemes) > 0 {
+		return p.Schemes
+	}
+	return p.Systems
+}
+
+// LifetimeSystemResult is one system's (or composed scheme's) row of a
+// lifetime job result. System carries the canonical scheme spec, which for
+// the paper's four systems collapses to the preset name.
 type LifetimeSystemResult struct {
 	System            string  `json:"system"`
 	DemandWrites      uint64  `json:"demand_writes"`
@@ -613,11 +654,19 @@ type LifetimeSystemResult struct {
 	ProjectedMonths   float64 `json:"projected_months"`
 	Normalized        float64 `json:"normalized"`
 	BitFlips          uint64  `json:"bit_flips"`
+	SetPulses         uint64  `json:"set_pulses"`
+	ResetPulses       uint64  `json:"reset_pulses"`
+	WriteEnergyPJ     float64 `json:"write_energy_pj"`
 	Uncorrectable     uint64  `json:"uncorrectable_errors"`
 	Resurrections     uint64  `json:"resurrections"`
 	GapMovements      uint64  `json:"gap_movements"`
 	Rotations         uint64  `json:"rotations"`
 	FinalDeadFraction float64 `json:"final_dead_fraction"`
+	// The write-encoder stage's accounting (enc=coset*/wire specs); zero
+	// when no encoder is composed.
+	EncodedWrites        uint64  `json:"encoded_writes,omitempty"`
+	EncoderFlipsSaved    int64   `json:"encoder_flips_saved,omitempty"`
+	EncoderEnergySavedPJ float64 `json:"encoder_energy_saved_pj,omitempty"`
 }
 
 // LifetimeResult is the result payload of a lifetime job.
@@ -646,20 +695,24 @@ func (p *LifetimeParams) run(ctx context.Context, pr *jobProgress) (any, error) 
 
 	// Progress unit: demand writes across all requested systems. The total
 	// is only knowable when a write cap bounds each run.
+	specs := p.schemeLabels()
 	var progressTotal uint64
 	if p.MaxDemandWrites > 0 {
-		progressTotal = p.MaxDemandWrites * uint64(len(p.Systems))
+		progressTotal = p.MaxDemandWrites * uint64(len(specs))
 	}
 
 	out := LifetimeResult{App: p.App, Scale: p.Scale, Seed: p.Seed}
 	var reference uint64
 	var writesDone uint64
-	for i, name := range p.Systems {
-		sys, err := systemByName(name)
+	for i, spec := range specs {
+		sp, err := scheme.Parse(spec)
 		if err != nil {
 			return nil, err
 		}
-		ctrl := core.DefaultConfig(sys, scale.Substrate(p.Seed))
+		ctrl, err := sp.ControllerConfig(scale.Substrate(p.Seed))
+		if err != nil {
+			return nil, err
+		}
 		cfg := lifetime.DefaultConfig(ctrl)
 		cfg.MaxDemandWrites = p.MaxDemandWrites
 		base := writesDone
@@ -678,18 +731,24 @@ func (p *LifetimeParams) run(ctx context.Context, pr *jobProgress) (any, error) 
 		}
 		s := res.Stats
 		out.Systems = append(out.Systems, LifetimeSystemResult{
-			System:            name,
-			DemandWrites:      res.DemandWrites,
-			Replays:           res.Replays,
-			Failed:            res.Failed,
-			ProjectedMonths:   tm.Months(res.DemandWrites),
-			Normalized:        norm,
-			BitFlips:          s.BitFlips,
-			Uncorrectable:     s.UncorrectableErrors,
-			Resurrections:     s.Resurrections,
-			GapMovements:      s.GapMovements,
-			Rotations:         s.Rotations,
-			FinalDeadFraction: res.FinalDeadFraction,
+			System:               spec,
+			DemandWrites:         res.DemandWrites,
+			Replays:              res.Replays,
+			Failed:               res.Failed,
+			ProjectedMonths:      tm.Months(res.DemandWrites),
+			Normalized:           norm,
+			BitFlips:             s.BitFlips,
+			SetPulses:            s.SetPulses,
+			ResetPulses:          s.ResetPulses,
+			WriteEnergyPJ:        s.WriteEnergyPJ(),
+			Uncorrectable:        s.UncorrectableErrors,
+			Resurrections:        s.Resurrections,
+			GapMovements:         s.GapMovements,
+			Rotations:            s.Rotations,
+			FinalDeadFraction:    res.FinalDeadFraction,
+			EncodedWrites:        s.EncodedWrites,
+			EncoderFlipsSaved:    s.EncoderFlipsSaved,
+			EncoderEnergySavedPJ: s.EncoderEnergySavedPJ,
 		})
 	}
 	return out, nil

@@ -61,12 +61,16 @@ func writeHistogram(w io.Writer, family, labels string, h *histogram) {
 // metrics aggregates the service's observability counters, rendered in
 // Prometheus text exposition format by WriteTo.
 type metrics struct {
-	mu            sync.Mutex
-	queued        int64 // gauge: accepted, not yet started
-	running       int64 // gauge: currently executing
-	done          map[Kind]uint64
-	failed        map[Kind]uint64
-	canceled      map[Kind]uint64
+	mu       sync.Mutex
+	queued   int64 // gauge: accepted, not yet started
+	running  int64 // gauge: currently executing
+	done     map[Kind]uint64
+	failed   map[Kind]uint64
+	canceled map[Kind]uint64
+	// schemeDone counts completed per-scheme runs inside done jobs, keyed
+	// kind then canonical scheme spec (a job running four presets moves
+	// four counters once).
+	schemeDone    map[Kind]map[string]uint64
 	cacheHits     uint64
 	cacheMisses   uint64
 	rejectedFull  uint64 // submissions refused: queue full (transient)
@@ -78,6 +82,9 @@ type metrics struct {
 	sweepsDone     uint64 // sweeps merged successfully
 	sweepsFailed   uint64 // sweeps that exhausted shard retries
 	sweepsCanceled uint64 // sweeps canceled by DELETE or shutdown
+	// sweepSchemes counts merged sweeps per scheme-matrix row, keyed by
+	// canonical scheme spec.
+	sweepSchemes map[string]uint64
 
 	httpPanics uint64                // handler panics recovered to 500s
 	http       map[string]*routeStat // per-route request accounting
@@ -93,11 +100,42 @@ type routeStat struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		done:     make(map[Kind]uint64),
-		failed:   make(map[Kind]uint64),
-		canceled: make(map[Kind]uint64),
-		latency:  make(map[Kind]*histogram),
-		http:     make(map[string]*routeStat),
+		done:         make(map[Kind]uint64),
+		failed:       make(map[Kind]uint64),
+		canceled:     make(map[Kind]uint64),
+		schemeDone:   make(map[Kind]map[string]uint64),
+		sweepSchemes: make(map[string]uint64),
+		latency:      make(map[Kind]*histogram),
+		http:         make(map[string]*routeStat),
+	}
+}
+
+// jobSchemesDone counts one completed run per scheme spec of a done job.
+func (m *metrics) jobSchemesDone(kind Kind, schemes []string) {
+	if len(schemes) == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byScheme := m.schemeDone[kind]
+	if byScheme == nil {
+		byScheme = make(map[string]uint64)
+		m.schemeDone[kind] = byScheme
+	}
+	for _, s := range schemes {
+		byScheme[s]++
+	}
+}
+
+// sweepSchemesDone counts one merged sweep per scheme-matrix row.
+func (m *metrics) sweepSchemesDone(schemes []string) {
+	if len(schemes) == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range schemes {
+		m.sweepSchemes[s]++
 	}
 }
 
@@ -286,6 +324,18 @@ func (m *metrics) WriteTo(w io.Writer, rt runtimeStats) {
 	for _, k := range Kinds {
 		fmt.Fprintf(w, "pcmd_jobs_canceled_total{kind=%q} %d\n", k, m.canceled[k])
 	}
+	fmt.Fprintf(w, "# TYPE pcmd_jobs_scheme_total counter\n")
+	for _, k := range Kinds {
+		byScheme := m.schemeDone[k]
+		schemes := make([]string, 0, len(byScheme))
+		for s := range byScheme {
+			schemes = append(schemes, s)
+		}
+		sort.Strings(schemes)
+		for _, s := range schemes {
+			fmt.Fprintf(w, "pcmd_jobs_scheme_total{kind=%q,scheme=%q} %d\n", k, s, byScheme[s])
+		}
+	}
 	fmt.Fprintf(w, "# TYPE pcmd_submit_rejected_total counter\n")
 	fmt.Fprintf(w, "pcmd_submit_rejected_total{reason=\"queue_full\"} %d\n", m.rejectedFull)
 	fmt.Fprintf(w, "pcmd_submit_rejected_total{reason=\"draining\"} %d\n", m.rejectedDrain)
@@ -307,6 +357,15 @@ func (m *metrics) WriteTo(w io.Writer, rt runtimeStats) {
 	fmt.Fprintf(w, "pcmd_sweeps_total{outcome=\"done\"} %d\n", m.sweepsDone)
 	fmt.Fprintf(w, "pcmd_sweeps_total{outcome=\"failed\"} %d\n", m.sweepsFailed)
 	fmt.Fprintf(w, "pcmd_sweeps_total{outcome=\"canceled\"} %d\n", m.sweepsCanceled)
+	fmt.Fprintf(w, "# TYPE pcmd_sweeps_scheme_total counter\n")
+	sweepSchemes := make([]string, 0, len(m.sweepSchemes))
+	for s := range m.sweepSchemes {
+		sweepSchemes = append(sweepSchemes, s)
+	}
+	sort.Strings(sweepSchemes)
+	for _, s := range sweepSchemes {
+		fmt.Fprintf(w, "pcmd_sweeps_scheme_total{scheme=%q} %d\n", s, m.sweepSchemes[s])
+	}
 
 	routes := make([]string, 0, len(m.http))
 	for route := range m.http {

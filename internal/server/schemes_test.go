@@ -1,0 +1,245 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServerLifetimeSchemesJob drives a lifetime job through the composed
+// scheme path: two non-preset specs, one per write-encoder family. Result
+// rows must be labeled with the canonical spec strings, the encoder stage
+// must have accounted for its work, and the per-scheme job counter plus the
+// flight-recorder timeline must carry the scheme labels.
+func TestServerLifetimeSchemesJob(t *testing.T) {
+	_, ts := newTestServer(t)
+	doc, code := submit(t, ts, "lifetime",
+		`{"app": "milc", "scale": "quick", "max_demand_writes": 20000,
+		  "schemes": ["enc=coset4,comp=bdi,wl=startgap,ecc=ecp6", "enc=wire"]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d (%v)", code, doc)
+	}
+	done := pollDone(t, ts, doc["id"].(string))
+
+	var res LifetimeResult
+	raw, _ := json.Marshal(done["result"])
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"comp=bdi,ecc=ecp6,enc=coset4,wl=startgap",   // keys reordered, canonical
+		"comp=bdi+fpc,ecc=ecp6,enc=wire,wl=startgap", // defaults filled in
+	}
+	if len(res.Systems) != len(want) {
+		t.Fatalf("rows = %d, want %d: %+v", len(res.Systems), len(want), res.Systems)
+	}
+	for i, row := range res.Systems {
+		if row.System != want[i] {
+			t.Fatalf("row %d labeled %q, want canonical spec %q", i, row.System, want[i])
+		}
+		if row.EncodedWrites == 0 {
+			t.Fatalf("row %q: encoder composed but EncodedWrites = 0", row.System)
+		}
+		if row.WriteEnergyPJ <= 0 {
+			t.Fatalf("row %q: WriteEnergyPJ = %v, want > 0", row.System, row.WriteEnergyPJ)
+		}
+	}
+	// coset4 strictly reduces flips; wire may trade flips for energy but must
+	// report a nonzero energy delta on a real trace.
+	if res.Systems[0].EncoderFlipsSaved <= 0 {
+		t.Fatalf("coset4 row: EncoderFlipsSaved = %d, want > 0", res.Systems[0].EncoderFlipsSaved)
+	}
+	if res.Systems[1].EncoderEnergySavedPJ == 0 {
+		t.Fatalf("wire row: EncoderEnergySavedPJ = 0, want nonzero")
+	}
+
+	// The per-scheme completion counter must carry both canonical labels.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range want {
+		line := `pcmd_jobs_scheme_total{kind="lifetime",scheme="` + spec + `"} 1`
+		if !strings.Contains(buf.String(), line) {
+			t.Fatalf("metrics missing %q:\n%s", line, buf.String())
+		}
+	}
+
+	// The job's flight-recorder timeline must record which schemes ran.
+	evResp, err := http.Get(ts.URL + "/v1/jobs/" + doc["id"].(string) + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer evResp.Body.Close()
+	var evDoc struct {
+		Events []struct {
+			Type   string            `json:"type"`
+			Fields map[string]string `json:"fields"`
+		} `json:"events"`
+	}
+	if err := json.NewDecoder(evResp.Body).Decode(&evDoc); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range evDoc.Events {
+		if ev.Type == "queued" && ev.Fields["schemes"] == strings.Join(want, ";") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no queued event with schemes field in timeline: %+v", evDoc.Events)
+	}
+}
+
+// TestServerSchemePresetMatchesSystem pins the compatibility contract: a
+// preset requested through the schemes axis must produce the same row as
+// the same preset requested through the legacy systems axis — same label,
+// same numbers.
+func TestServerSchemePresetMatchesSystem(t *testing.T) {
+	_, ts := newTestServer(t)
+	viaSystems, code := submit(t, ts, "lifetime",
+		`{"app": "milc", "scale": "quick", "systems": ["comp+w"], "max_demand_writes": 20000}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("systems submit: %d", code)
+	}
+	viaSchemes, code := submit(t, ts, "lifetime",
+		`{"app": "milc", "scale": "quick", "schemes": ["comp=bdi+fpc,ecc=ecp6,wl=startgap+intraline"], "max_demand_writes": 20000}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("schemes submit: %d", code)
+	}
+	r1, _ := json.Marshal(pollDone(t, ts, viaSystems["id"].(string))["result"])
+	r2, _ := json.Marshal(pollDone(t, ts, viaSchemes["id"].(string))["result"])
+	if !bytes.Equal(r1, r2) {
+		t.Fatalf("preset via schemes differs from preset via systems:\n%s\n%s", r1, r2)
+	}
+}
+
+// TestServerSchemesValidation covers the 400 paths of the schemes axis.
+func TestServerSchemesValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"both axes",
+			`{"app": "milc", "systems": ["baseline"], "schemes": ["comp"]}`,
+			"mutually exclusive"},
+		{"bad spec",
+			`{"app": "milc", "schemes": ["enc=bogus"]}`,
+			"unknown encoder"},
+		{"duplicate after canonicalization",
+			`{"app": "milc", "schemes": ["comp", "comp=bdi+fpc,ecc=ecp6,wl=startgap"]}`,
+			"duplicate scheme"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			doc, code := submit(t, ts, "lifetime", tc.body)
+			if code != http.StatusBadRequest {
+				t.Fatalf("code = %d, want 400 (%v)", code, doc)
+			}
+			if msg, _ := doc["error"].(string); !strings.Contains(msg, tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", msg, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestServerSweepSchemeMatrix submits a scheme-matrix sweep through the
+// HTTP surface: shard count must be seeds x schemes, merged shards must be
+// labeled scheme-major, and the per-scheme sweep counter must tick.
+func TestServerSweepSchemeMatrix(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"kind": "lifetime",
+	  "params": {"app": "milc", "scale": "quick", "max_demand_writes": 10000},
+	  "seed_start": 1, "seed_count": 2,
+	  "schemes": ["baseline", "enc=coset2"]}`
+	doc, code := postSweep(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit sweep: %d (%+v)", code, doc)
+	}
+	if doc.ShardsTotal != 4 {
+		t.Fatalf("shards_total = %d, want 4 (2 seeds x 2 schemes)", doc.ShardsTotal)
+	}
+	done := pollSweep(t, ts, doc.ID)
+	if done.State != StateDone {
+		t.Fatalf("sweep finished %s: %s", done.State, done.Error)
+	}
+
+	var res struct {
+		Schemes []string `json:"schemes"`
+		Shards  []struct {
+			Seed   uint64 `json:"seed"`
+			Scheme string `json:"scheme"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	wantSchemes := []string{"baseline", "comp=bdi+fpc,ecc=ecp6,enc=coset2,wl=startgap"}
+	if len(res.Schemes) != 2 || res.Schemes[0] != wantSchemes[0] || res.Schemes[1] != wantSchemes[1] {
+		t.Fatalf("result schemes = %v, want %v", res.Schemes, wantSchemes)
+	}
+	if len(res.Shards) != 4 {
+		t.Fatalf("shards = %d, want 4 (2 seeds x 2 schemes)", len(res.Shards))
+	}
+	// Scheme-major order: all seeds of scheme 0, then all seeds of scheme 1.
+	for i, sh := range res.Shards {
+		wantSeed := uint64(1 + i%2)
+		wantScheme := wantSchemes[i/2]
+		if sh.Seed != wantSeed || sh.Scheme != wantScheme {
+			t.Fatalf("shard %d = (seed %d, scheme %q), want (seed %d, scheme %q)",
+				i, sh.Seed, sh.Scheme, wantSeed, wantScheme)
+		}
+	}
+
+	mResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mResp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(mResp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range wantSchemes {
+		line := `pcmd_sweeps_scheme_total{scheme="` + spec + `"} 1`
+		if !strings.Contains(buf.String(), line) {
+			t.Fatalf("metrics missing %q:\n%s", line, buf.String())
+		}
+	}
+}
+
+// TestServerSweepSchemesValidation: the schemes axis is lifetime-only and
+// specs must parse.
+func TestServerSweepSchemesValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"non-lifetime kind",
+			`{"kind": "compression", "params": {"apps": ["milc"], "scale": "quick"},
+			  "seed_count": 1, "schemes": ["baseline"]}`,
+			"only valid for lifetime"},
+		{"bad spec",
+			`{"kind": "lifetime", "params": {"app": "milc"}, "seed_count": 1,
+			  "schemes": ["ecc=bogus"]}`,
+			"unknown ecc scheme"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			doc, code := postSweep(t, ts, tc.body)
+			if code != http.StatusBadRequest {
+				t.Fatalf("code = %d, want 400 (%+v)", code, doc)
+			}
+			if !strings.Contains(doc.Error, tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", doc.Error, tc.wantErr)
+			}
+		})
+	}
+}

@@ -49,6 +49,7 @@ import (
 
 	"pcmcomp/internal/cluster"
 	"pcmcomp/internal/obs"
+	"pcmcomp/internal/scheme"
 	"pcmcomp/internal/workload"
 )
 
@@ -433,6 +434,7 @@ func (s *Server) execute(j *Job) {
 	s.cache.Put(j.CacheKey, buf)
 	s.store.setDone(j, buf, endSpan(nil), finished)
 	s.metrics.jobFinished(j.Kind, outcomeDone, finished.Sub(start))
+	s.metrics.jobSchemesDone(j.Kind, schemeLabelsOf(j.run))
 	jobLog.Info("job done", "elapsed", finished.Sub(start))
 }
 
@@ -638,19 +640,31 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"workloads": out})
 }
 
+// handleSchemes implements GET /v1/schemes: the legacy hard-error scheme
+// list (the Fig 9 Monte-Carlo names), plus the full composition registry —
+// codecs, ECCs, write encoders, wear policies, and the four paper presets
+// with their canonical specs — so clients can discover what a "schemes"
+// spec may compose.
 func (s *Server) handleSchemes(w http.ResponseWriter, _ *http.Request) {
-	type scheme struct {
+	type mcScheme struct {
 		Name        string `json:"name"`
 		FullName    string `json:"full_name"`
 		Description string `json:"description"`
 		MonteCarlo  bool   `json:"monte_carlo"`
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"schemes": []scheme{
-		{"ecp", "ECP-6", "error-correcting pointers, 6 per 512-bit line (paper baseline)", true},
-		{"safer", "SAFER-32", "dynamic partitioning into 32 groups with inversion", true},
-		{"aegis", "Aegis-17x31", "17x31 grid-based group formation", true},
-		{"secded", "SECDED-72/64", "(72,64) Hsiao code the paper argues against (§II-C)", false},
-	}})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"schemes": []mcScheme{
+			{"ecp", "ECP-6", "error-correcting pointers, 6 per 512-bit line (paper baseline)", true},
+			{"safer", "SAFER-32", "dynamic partitioning into 32 groups with inversion", true},
+			{"aegis", "Aegis-17x31", "17x31 grid-based group formation", true},
+			{"secded", "SECDED-72/64", "(72,64) Hsiao code the paper argues against (§II-C)", false},
+		},
+		"codecs":        scheme.Codecs(),
+		"eccs":          scheme.ECCs(),
+		"encoders":      scheme.Encoders(),
+		"wear_policies": scheme.WearPolicies(),
+		"presets":       scheme.Presets(),
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

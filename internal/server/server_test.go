@@ -339,6 +339,14 @@ func TestServerDiscoveryEndpoints(t *testing.T) {
 		Schemes []struct {
 			Name string `json:"name"`
 		} `json:"schemes"`
+		Codecs       []struct{ Name string } `json:"codecs"`
+		ECCs         []struct{ Name string } `json:"eccs"`
+		Encoders     []struct{ Name string } `json:"encoders"`
+		WearPolicies []struct{ Name string } `json:"wear_policies"`
+		Presets      []struct {
+			Name string `json:"name"`
+			Spec string `json:"spec"`
+		} `json:"presets"`
 	}
 	resp, err = http.Get(ts.URL + "/v1/schemes")
 	if err != nil {
@@ -350,6 +358,20 @@ func TestServerDiscoveryEndpoints(t *testing.T) {
 	resp.Body.Close()
 	if len(sc.Schemes) != 4 {
 		t.Fatalf("schemes = %d, want 4", len(sc.Schemes))
+	}
+	// The composition registry rides along: every axis non-empty, and the
+	// four paper presets each carrying a parseable spec.
+	if len(sc.Codecs) == 0 || len(sc.ECCs) == 0 || len(sc.Encoders) == 0 || len(sc.WearPolicies) == 0 {
+		t.Fatalf("registry sections missing: codecs=%d eccs=%d encoders=%d wear_policies=%d",
+			len(sc.Codecs), len(sc.ECCs), len(sc.Encoders), len(sc.WearPolicies))
+	}
+	if len(sc.Presets) != 4 {
+		t.Fatalf("presets = %d, want 4", len(sc.Presets))
+	}
+	for _, p := range sc.Presets {
+		if p.Spec == "" {
+			t.Errorf("preset %q has no spec", p.Name)
+		}
 	}
 }
 

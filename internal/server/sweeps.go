@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -72,14 +73,18 @@ func (s *sweepStore) add(req cluster.SweepRequest, cancel context.CancelCauseFun
 			State:       StateQueued,
 			Created:     now,
 			Request:     req,
-			ShardsTotal: req.SeedCount,
+			ShardsTotal: req.ShardCount(),
 			TraceID:     traceID,
 		},
 		cancel: cancel,
 		events: obs.NewTimeline(0),
 	}
-	sw.events.AddAt(now, "created", "",
-		"kind", req.Kind, "seeds", strconv.Itoa(req.SeedCount))
+	fields := []string{"kind", req.Kind, "seeds", strconv.Itoa(req.SeedCount)}
+	if len(req.Schemes) > 0 {
+		// Specs contain commas, so the timeline field joins on ";".
+		fields = append(fields, "schemes", strings.Join(req.Schemes, ";"))
+	}
+	sw.events.AddAt(now, "created", "", fields...)
 	s.sweeps[sw.doc.ID] = sw
 	s.order = append(s.order, sw.doc.ID)
 	s.evictLocked()
@@ -98,6 +103,9 @@ func (s *sweepStore) recordShardEvent(id string, ev cluster.ShardEvent) {
 	fields := []string{
 		"shard", strconv.Itoa(ev.Shard),
 		"seed", strconv.FormatUint(ev.Seed, 10),
+	}
+	if ev.Scheme != "" {
+		fields = append(fields, "scheme", ev.Scheme)
 	}
 	if ev.Backend != "" {
 		fields = append(fields, "backend", ev.Backend)
@@ -352,6 +360,9 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	span.SetAttr("sweep_id", id)
 	span.SetAttr("kind", req.Kind)
 	span.SetAttr("seeds", strconv.Itoa(req.SeedCount))
+	if len(req.Schemes) > 0 {
+		span.SetAttr("schemes", strings.Join(req.Schemes, ";"))
+	}
 	sweepLog := s.log.With("sweep_id", id, "kind", req.Kind, "trace_id", span.Context().TraceID)
 	ctx = obs.WithLogger(ctx, sweepLog)
 
@@ -390,6 +401,9 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		span.End()
 		s.sweeps.finish(id, buf, err, canceled, finished)
 		s.metrics.sweepFinished(err, canceled)
+		if err == nil && !canceled {
+			s.metrics.sweepSchemesDone(req.Schemes)
+		}
 		switch {
 		case canceled:
 			sweepLog.Info("sweep canceled", "elapsed", finished.Sub(now))
@@ -420,6 +434,7 @@ type sweepSummary struct {
 	Kind        string     `json:"kind"`
 	SeedStart   uint64     `json:"seed_start"`
 	SeedCount   int        `json:"seed_count"`
+	Schemes     []string   `json:"schemes,omitempty"`
 	ShardsDone  int        `json:"shards_done"`
 	ShardsTotal int        `json:"shards_total"`
 	Created     time.Time  `json:"created"`
@@ -434,6 +449,7 @@ func (s *Server) handleListSweeps(w http.ResponseWriter, _ *http.Request) {
 		out = append(out, sweepSummary{
 			ID: sw.ID, State: sw.State, Kind: sw.Request.Kind,
 			SeedStart: sw.Request.SeedStart, SeedCount: sw.Request.SeedCount,
+			Schemes:    sw.Request.Schemes,
 			ShardsDone: sw.ShardsDone, ShardsTotal: sw.ShardsTotal,
 			Created: sw.Created, Finished: sw.Finished, Error: sw.Error,
 		})
