@@ -27,8 +27,16 @@ func BenchmarkWriteHot(b *testing.B) { benchmarks.WriteHot(b) }
 func BenchmarkCompressSelect(b *testing.B) { benchmarks.CompressSelect(b) }
 
 // BenchmarkMonteCarloCurve measures one ECP-6 failure-probability sweep of
-// the Monte-Carlo fault-injection loop.
+// the Monte-Carlo fault-injection loop with reused Runner scratch. It must
+// report 0 allocs/op (guarded by TestMonteCarloCurveZeroAllocs in
+// internal/montecarlo and tracked in BENCH_pipeline.json).
 func BenchmarkMonteCarloCurve(b *testing.B) { benchmarks.MonteCarloCurve(b) }
+
+// BenchmarkFleetSweeps measures one distributed failure-probability sweep
+// (four seed shards) end to end through a real in-process pcmd: HTTP
+// handlers, coordinator dispatch, loopback ExecuteLocal, deterministic
+// merge. Service-level throughput, gated by cmd/bench -check.
+func BenchmarkFleetSweeps(b *testing.B) { benchmarks.FleetSweeps(b) }
 
 func BenchmarkFig1DWBitFlips(b *testing.B)      { benchmarks.Fig1DWBitFlips(b) }
 func BenchmarkFig3CompressedSize(b *testing.B)  { benchmarks.Fig3CompressedSize(b) }

@@ -10,11 +10,15 @@
 //     experiment cost.
 //   - Microbenchmarks (WriteHot, CompressSelect, MonteCarloCurve) isolate
 //     the per-write simulation kernel — they track the hot path every
-//     experiment funnels through, and WriteHot additionally guards the
-//     zero-allocation property of steady-state Controller.Write.
+//     experiment funnels through, and WriteHot and MonteCarloCurve
+//     additionally guard the zero-allocation property of their kernels.
+//
+// FleetSweeps (fleet.go) sits above both: one distributed sweep through a
+// real in-process pcmd per iteration, gating service-level throughput.
 package benchmarks
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -46,6 +50,7 @@ func All() []Entry {
 		{Name: "WriteHot", Micro: true, F: WriteHot},
 		{Name: "CompressSelect", Micro: true, F: CompressSelect},
 		{Name: "MonteCarloCurve", Micro: true, F: MonteCarloCurve},
+		{Name: "FleetSweeps", F: FleetSweeps},
 		{Name: "Fig1DWBitFlips", F: Fig1DWBitFlips},
 		{Name: "Fig3CompressedSize", F: Fig3CompressedSize},
 		{Name: "Fig5FlipDelta", F: Fig5FlipDelta},
@@ -163,13 +168,21 @@ func compressCorpus(b *testing.B) []trace.Event {
 
 // MonteCarloCurve measures one Fig 9-style failure-probability sweep
 // (ECP-6, 32-byte window, 1..20 errors, 300 trials per point), the
-// Monte-Carlo fault-injection loop the batched RNG feeds.
+// Monte-Carlo fault-injection loop the batched RNG feeds. The Runner and
+// the output buffer are reused across iterations, as in the lifetime
+// sweeps' steady state; it must report 0 allocs/op (guarded by
+// TestMonteCarloCurveZeroAllocs and cmd/bench -check).
 func MonteCarloCurve(b *testing.B) {
 	scheme := ecp.New(6)
+	runner := montecarlo.NewRunner()
+	curve := make([]float64, 0, 20)
+	ctx := context.Background()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := montecarlo.Curve(scheme, 32, 20, 300, 1); err != nil {
+		var err error
+		curve, err = runner.AppendCurve(ctx, curve[:0], scheme, 32, 20, 300, 1, nil)
+		if err != nil {
 			b.Fatal(err)
 		}
 	}

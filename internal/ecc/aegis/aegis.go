@@ -160,6 +160,20 @@ func (s *Scheme) slopeSeparates(a int, xs, ys []int, groups []bool) bool {
 	return true
 }
 
+// CorrectableBounds implements ecc.CorrectabilityBounds, mirroring the
+// count-only early returns of Correctable: up to the deterministic
+// guarantee (the largest t with t(t-1)/2 <= m, i.e. t faults spoil at most
+// t(t-1)/2 < m+1 partitions) every window is separable, and beyond m
+// faults the pigeonhole on the slope partitions makes separation
+// impossible.
+func (s *Scheme) CorrectableBounds() (always, never int) {
+	t := 1
+	for (t+1)*t/2 <= s.m {
+		t++
+	}
+	return t, s.m
+}
+
 // MetadataBits implements ecc.Scheme: a partition selector of
 // ceil(log2(m+1)) bits plus one flip bit per group (m groups worst case).
 func (s *Scheme) MetadataBits() int {

@@ -11,6 +11,7 @@
 package ecc
 
 import (
+	"encoding/binary"
 	"math/bits"
 
 	"pcmcomp/internal/block"
@@ -88,6 +89,22 @@ func (f *FaultSet) countRange(startByte, lengthBytes int) int {
 	return n
 }
 
+// ByteCounts writes the per-byte fault counts of the line into dst:
+// dst[i] is the number of faulty cells among bits 8i..8i+7. One pass of
+// SWAR popcounts per bitmap word, so a Monte-Carlo trial can derive the
+// fault count of every sliding byte window from 64 table lookups instead
+// of a masked popcount per window.
+func (f *FaultSet) ByteCounts(dst *[block.Size]uint8) {
+	for w, v := range f.words {
+		// Classic parallel popcount, stopped at the per-byte stage: after
+		// the three reductions every byte of v holds its own bit count.
+		v -= (v >> 1) & 0x5555555555555555
+		v = v&0x3333333333333333 + (v>>2)&0x3333333333333333
+		v = (v + v>>4) & 0x0f0f0f0f0f0f0f0f
+		binary.LittleEndian.PutUint64(dst[w*8:w*8+8], v)
+	}
+}
+
 // AppendIndicesInWindow appends to dst the cell indices of faults within the
 // byte window of lengthBytes starting at startByte, and returns dst. Like
 // CountInByteWindow, the window wraps around the line end; when it wraps,
@@ -155,4 +172,17 @@ type Scheme interface {
 	// MetadataBits returns the per-line correction-metadata budget in bits.
 	// All schemes in the paper fit the 64-bit ECC chip share of a line.
 	MetadataBits() int
+}
+
+// CorrectabilityBounds is optionally implemented by schemes whose
+// Correctable decision admits count-only screening. It lets bulk callers
+// (the Monte-Carlo placement scan) decide most windows from the fault
+// count alone and reserve the full Correctable call for the ambiguous
+// band in between.
+type CorrectabilityBounds interface {
+	// CorrectableBounds returns (always, never): a window holding at most
+	// `always` faults is always correctable, and one holding more than
+	// `never` faults never is. Implementations must keep both bounds
+	// consistent with Correctable — the fast path substitutes them for it.
+	CorrectableBounds() (always, never int)
 }

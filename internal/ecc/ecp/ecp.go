@@ -51,6 +51,11 @@ func (s *Scheme) Correctable(faults *ecc.FaultSet, startByte, lengthBytes int) b
 	return faults.CountInByteWindow(startByte, lengthBytes) <= s.n
 }
 
+// CorrectableBounds implements ecc.CorrectabilityBounds: ECP's decision is
+// exactly the count threshold, so both bounds collapse to n and the fast
+// path never needs the full Correctable call.
+func (s *Scheme) CorrectableBounds() (always, never int) { return s.n, s.n }
+
 // MetadataBits implements ecc.Scheme: n pointers of 9 bits, n replacement
 // cells, plus the full bit.
 func (s *Scheme) MetadataBits() int { return s.n*(9+1) + 1 }

@@ -123,6 +123,11 @@ func extract(v, mask uint16) uint16 {
 	return out
 }
 
+// CorrectableBounds implements ecc.CorrectabilityBounds, mirroring the two
+// count-only early returns of Correctable: at most one fault per window is
+// trivially storable, and more faults than groups can never be separated.
+func (s *Scheme) CorrectableBounds() (always, never int) { return 1, s.Groups() }
+
 // MetadataBits implements ecc.Scheme. SAFER-2^k needs k position fields of
 // ceil(log2(9)) = 4 bits plus one flip bit per group (the original paper
 // also folds in a small fail counter; we report the dominant terms).

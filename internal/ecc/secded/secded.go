@@ -102,7 +102,11 @@ func (Scheme) Name() string { return "SECDED-72/64" }
 
 // Correctable implements ecc.Scheme.
 func (Scheme) Correctable(faults *ecc.FaultSet, startByte, lengthBytes int) bool {
-	idx := faults.AppendIndicesInWindow(nil, startByte, lengthBytes)
+	// Stack buffer: like the SAFER/Aegis kernels, the index enumeration
+	// must stay off the heap — the Monte-Carlo scan calls Correctable on
+	// every placement trial.
+	var buf [block.Bits]int
+	idx := faults.AppendIndicesInWindow(buf[:0], startByte, lengthBytes)
 	var perBeat [block.Size / 8]int
 	for _, cell := range idx {
 		beat := cell / 64
@@ -113,6 +117,11 @@ func (Scheme) Correctable(faults *ecc.FaultSet, startByte, lengthBytes int) bool
 	}
 	return true
 }
+
+// CorrectableBounds implements ecc.CorrectabilityBounds: one fault always
+// fits its beat's single-error budget, and with more faults than beats some
+// beat must hold two (the window never spans more than the line's 8 beats).
+func (Scheme) CorrectableBounds() (always, never int) { return 1, block.Size / 8 }
 
 // MetadataBits implements ecc.Scheme: 8 check bits per 64-bit beat fills
 // the whole ECC chip share (the 12.5% overhead of a standard ECC-DIMM).

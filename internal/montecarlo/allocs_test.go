@@ -1,0 +1,49 @@
+package montecarlo
+
+import (
+	"context"
+	"testing"
+
+	"pcmcomp/internal/ecc"
+	"pcmcomp/internal/ecc/aegis"
+	"pcmcomp/internal/ecc/ecp"
+	"pcmcomp/internal/ecc/safer"
+)
+
+// TestMonteCarloCurveZeroAllocs guards the allocation-free curve kernel:
+// with a Runner kept across calls and an output buffer with capacity, a
+// full failure-probability curve must never touch the heap — for the
+// count-screened schemes (ECP) and for the ones that fall through to the
+// full Correctable kernel (SAFER, Aegis) alike. It is the testing
+// counterpart of BenchmarkMonteCarloCurve and of cmd/bench's -check gate,
+// mirroring TestWriteHotAllocs in internal/core.
+func TestMonteCarloCurveZeroAllocs(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name   string
+		scheme ecc.Scheme
+	}{
+		{"ecp", ecp.New(6)},
+		{"safer", safer.New(5)},
+		{"aegis", aegis.MustNew(17, 31)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const maxErrors, trials = 12, 50
+			runner := NewRunner()
+			curve := make([]float64, 0, maxErrors)
+			allocs := testing.AllocsPerRun(20, func() {
+				var err error
+				curve, err = runner.AppendCurve(ctx, curve[:0], tc.scheme, 32, maxErrors, trials, 1, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(curve) != maxErrors {
+					t.Fatalf("curve length %d, want %d", len(curve), maxErrors)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("AppendCurve allocates %.2f times per curve, want 0", allocs)
+			}
+		})
+	}
+}

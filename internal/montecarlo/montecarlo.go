@@ -75,32 +75,116 @@ const ctxCheckEvery = 4096
 // FailureProbabilityContext is FailureProbability with cancellation, polled
 // every few thousand trials. On cancellation it returns 0 and ctx.Err().
 func FailureProbabilityContext(ctx context.Context, cfg Config) (float64, error) {
+	return NewRunner().FailureProbability(ctx, cfg)
+}
+
+// Runner owns the reusable scratch of the Monte-Carlo kernel: the
+// deterministic generator and its prefetching batch, the injected fault
+// set, and the per-byte fault counts the placement scan slides over.
+// Allocating the scratch once and reusing it across points and curves is
+// what makes the curve path allocation-free — the per-call locals of the
+// old kernel escaped to the heap twice per curve point through the
+// ecc.Scheme interface call.
+//
+// A Runner is not safe for concurrent use; give each goroutine its own.
+// Results are a pure function of the arguments, never of the Runner's
+// history, so any distribution of calls across Runners is bit-identical
+// to a single sequential one (the cluster's shard-merge contract,
+// DESIGN §8, leans on exactly this).
+type Runner struct {
+	r      rng.Rand
+	batch  rng.Batch
+	faults ecc.FaultSet
+	counts [block.Size]uint8
+}
+
+// NewRunner returns a ready Runner. The zero value is also valid; New is
+// for callers that want the scratch on the heap up front so later calls
+// are allocation-free.
+func NewRunner() *Runner { return &Runner{} }
+
+// FailureProbability estimates P(line unusable) for the configuration,
+// reusing the Runner's scratch. The generator is reseeded from cfg.Seed on
+// every call and the Batch serves draws in exactly the order rng.New(Seed)
+// would emit them, so estimates are bit-identical to the unbatched
+// trial-at-a-time path and independent of the Runner's previous calls.
+func (ru *Runner) FailureProbability(ctx context.Context, cfg Config) (float64, error) {
 	if err := cfg.Validate(); err != nil {
 		return 0, err
 	}
-	// Stack-allocated generator plus a prefetching Batch: the injection
-	// loop draws millions of values, and the Batch serves them from
-	// register-resident blocks in exactly the order rng.New(Seed) would
-	// emit them, so estimates are bit-identical to the unbatched path.
-	var r rng.Rand
-	r.Reseed(cfg.Seed)
-	var batch rng.Batch
-	batch.Reset(&r)
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	always, never := -1, block.Bits
+	bounded := false
+	if b, ok := cfg.Scheme.(ecc.CorrectabilityBounds); ok {
+		always, never = b.CorrectableBounds()
+		bounded = true
+		if cfg.Errors <= always {
+			// Every trial injects exactly cfg.Errors distinct faults, so no
+			// window can exceed the always-correctable budget: the estimate
+			// is exactly 0 without running a trial. Skipping the draws is
+			// invisible elsewhere — each curve point reseeds its own stream.
+			return 0, nil
+		}
+	}
+	ru.r.Reseed(cfg.Seed)
+	ru.batch.Reset(&ru.r)
 	failures := 0
-	var faults ecc.FaultSet
 	for trial := 0; trial < cfg.Trials; trial++ {
-		if trial%ctxCheckEvery == 0 {
+		if trial%ctxCheckEvery == 0 && trial > 0 {
 			if err := ctx.Err(); err != nil {
 				return 0, err
 			}
 		}
-		faults.Clear()
-		injectUniform(&batch, &faults, cfg.Errors)
-		if !Survives(cfg.Scheme, &faults, cfg.WindowBytes) {
+		ru.faults.Clear()
+		injectUniform(&ru.batch, &ru.faults, cfg.Errors)
+		survived := false
+		if bounded {
+			survived = ru.survivesBounded(cfg.Scheme, cfg.WindowBytes, always, never)
+		} else {
+			survived = Survives(cfg.Scheme, &ru.faults, cfg.WindowBytes)
+		}
+		if !survived {
 			failures++
 		}
 	}
 	return float64(failures) / float64(cfg.Trials), nil
+}
+
+// survivesBounded is Survives over the Runner's fault set for schemes with
+// count bounds: the fault count of every placement origin comes from one
+// incrementally updated sliding-window sum over the per-byte counts, and
+// the full Correctable kernel runs only for counts inside (always, never].
+// The origin scan order and the accept decision per origin are identical
+// to Survives', so the two paths agree bit-for-bit.
+func (ru *Runner) survivesBounded(scheme ecc.Scheme, windowBytes, always, never int) bool {
+	f := &ru.faults
+	if windowBytes >= block.Size {
+		n := f.Count()
+		if n <= always {
+			return true
+		}
+		if n > never {
+			return false
+		}
+		return scheme.Correctable(f, 0, block.Size)
+	}
+	f.ByteCounts(&ru.counts)
+	cnt := 0
+	for i := 0; i < windowBytes; i++ {
+		cnt += int(ru.counts[i])
+	}
+	for origin := 0; origin < block.Size; origin++ {
+		if cnt <= always {
+			return true
+		}
+		if cnt <= never && scheme.Correctable(f, origin, windowBytes) {
+			return true
+		}
+		cnt += int(ru.counts[(origin+windowBytes)%block.Size]) - int(ru.counts[origin])
+	}
+	return false
 }
 
 // injectUniform adds exactly n distinct uniformly placed faults.
@@ -130,26 +214,42 @@ func CurveContext(ctx context.Context, scheme ecc.Scheme, windowBytes, maxErrors
 // CurveContextProgress is CurveContext with a per-point progress callback:
 // onPoint(done, total) fires after each of the total=maxErrors curve points
 // completes, on the computing goroutine (keep it cheap — an atomic store).
-// The estimates are identical to CurveContext's; the callback only observes.
+// On early context cancellation a final onPoint(total, total) fires before
+// the error returns, so progress meters driven by the callback always
+// close out. The estimates are identical to CurveContext's; the callback
+// only observes.
 func CurveContextProgress(ctx context.Context, scheme ecc.Scheme, windowBytes, maxErrors, trials int, seed uint64, onPoint func(done, total int)) ([]float64, error) {
-	out := make([]float64, 0, maxErrors)
+	return NewRunner().AppendCurve(ctx, make([]float64, 0, maxErrors), scheme, windowBytes, maxErrors, trials, seed, onPoint)
+}
+
+// AppendCurve appends the failure-probability curve (1..maxErrors injected
+// errors, point e estimated from seed+e) to dst and returns the extended
+// slice, reusing the Runner's scratch: with a Runner kept across calls and
+// a dst with capacity maxErrors, a curve costs zero heap allocations. The
+// points are bit-identical to Curve's. On cancellation it returns the
+// points appended so far (a prefix of the curve, possibly empty) together
+// with ctx.Err(), after firing the final onPoint(total, total) tick.
+func (ru *Runner) AppendCurve(ctx context.Context, dst []float64, scheme ecc.Scheme, windowBytes, maxErrors, trials int, seed uint64, onPoint func(done, total int)) ([]float64, error) {
 	for e := 1; e <= maxErrors; e++ {
-		p, err := FailureProbabilityContext(ctx, Config{
+		p, err := ru.FailureProbability(ctx, Config{
 			Scheme: scheme, WindowBytes: windowBytes,
 			Errors: e, Trials: trials, Seed: seed + uint64(e),
 		})
 		if err != nil {
 			if ctx.Err() != nil {
-				return out, err
+				if onPoint != nil {
+					onPoint(maxErrors, maxErrors)
+				}
+				return dst, err
 			}
 			return nil, err
 		}
-		out = append(out, p)
+		dst = append(dst, p)
 		if onPoint != nil {
 			onPoint(e, maxErrors)
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 // TolerableAt returns the largest error count whose failure probability

@@ -823,7 +823,10 @@ func (p *FailureProbabilityParams) run(ctx context.Context, pr *jobProgress) (an
 		return nil, err
 	}
 	// Progress unit: Monte-Carlo trials (curve points x trials per point).
-	curve, err := montecarlo.CurveContextProgress(ctx, scheme, p.Window, p.MaxErrors, p.Trials, p.Seed,
+	// One Runner per job: the whole curve shares one heap-resident scratch
+	// block instead of re-escaping the RNG and fault set on every point.
+	curve, err := montecarlo.NewRunner().AppendCurve(ctx,
+		make([]float64, 0, p.MaxErrors), scheme, p.Window, p.MaxErrors, p.Trials, p.Seed,
 		func(done, total int) {
 			pr.set(uint64(done)*uint64(p.Trials), uint64(total)*uint64(p.Trials))
 		})
