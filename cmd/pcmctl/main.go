@@ -12,9 +12,17 @@
 //	       -peers http://b1:8080,http://b2:8080 | -local | -submit http://coord:8080 \
 //	       [-retries 2] [-hedge-after 30s] [-shard-timeout 15m] [-concurrency N]
 //	pcmctl jobs -server http://b1:8080 [-state running] [-limit 100] [-offset 0]
+//	pcmctl events -server http://b1:8080 -id j000001-abcd1234 [-follow] [-api-key KEY]
 //	pcmctl cancel -server http://b1:8080 -id j000001-abcd1234
 //	pcmctl trace -server http://b1:8080 [-id <trace-id>]
 //	pcmctl -version
+//
+// events renders a job's (or sweep's — IDs starting with "s") flight
+// recorder. Without -follow it fetches the retained timeline once; with
+// -follow it streams over SSE, replaying history and then following live
+// events until the job is terminal, reconnecting with Last-Event-ID if
+// the connection drops. -api-key authenticates as a tenant against a
+// multi-tenant pcmd.
 //
 // sweep prints shard progress to stderr and the merged sweep result as
 // JSON on stdout. With -local (or no -peers) shards execute in-process on
@@ -66,6 +74,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return runSweep(ctx, args[1:], stdout, stderr)
 	case "jobs":
 		return runJobs(ctx, args[1:], stdout)
+	case "events":
+		return runEvents(ctx, args[1:], stdout, stderr)
 	case "cancel":
 		return runCancel(ctx, args[1:], stdout)
 	case "trace":
@@ -74,7 +84,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, "pcmctl", version.String())
 		return nil
 	default:
-		return fmt.Errorf("unknown subcommand %q (want sweep, jobs, cancel, or trace)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want sweep, jobs, events, cancel, or trace)", args[0])
 	}
 }
 
@@ -255,6 +265,89 @@ func runJobs(ctx context.Context, args []string, stdout io.Writer) error {
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(page)
+}
+
+// runEvents renders a flight-recorder timeline: one JSON-lines event per
+// row (time, type, msg, sorted fields). IDs starting with "s" address
+// sweeps; everything else addresses jobs. -follow streams over SSE and
+// exits when the job or sweep reaches a terminal state — non-zero when
+// that state is failed or canceled.
+func runEvents(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pcmctl events", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	serverURL := fs.String("server", "", "pcmd base URL (required)")
+	id := fs.String("id", "", "job or sweep ID (required; sweep IDs start with \"s\")")
+	follow := fs.Bool("follow", false, "stream live events over SSE until the job is terminal")
+	apiKey := fs.String("api-key", "", "tenant API key (X-Api-Key header)")
+	verbose := fs.Bool("v", false, "log the client's reconnect machinery to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *serverURL == "" || *id == "" {
+		return fmt.Errorf("-server and -id are required")
+	}
+	c := pcmclient.New(*serverURL)
+	c.APIKey = *apiKey
+	if *verbose {
+		logger, err := obs.NewLogger(stderr, "text", nil)
+		if err != nil {
+			return err
+		}
+		c.Logger = logger
+	}
+	isSweep := strings.HasPrefix(*id, "s")
+
+	printEvent := func(ev obs.Event) {
+		fmt.Fprintf(stdout, "%s  %-10s %s", ev.Time.Format(time.RFC3339Nano), ev.Type, ev.Msg)
+		keys := make([]string, 0, len(ev.Fields))
+		for k := range ev.Fields {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(stdout, " %s=%s", k, ev.Fields[k])
+		}
+		fmt.Fprintln(stdout)
+	}
+
+	if !*follow {
+		var doc *pcmclient.EventsDoc
+		var err error
+		if isSweep {
+			doc, err = c.SweepEvents(ctx, *id)
+		} else {
+			doc, err = c.JobEvents(ctx, *id)
+		}
+		if err != nil {
+			return err
+		}
+		if doc.Dropped > 0 {
+			fmt.Fprintf(stderr, "(%d earlier events dropped by the ring)\n", doc.Dropped)
+		}
+		for _, ev := range doc.Events {
+			printEvent(ev)
+		}
+		return nil
+	}
+
+	onEvent := func(ev pcmclient.TimelineEvent) { printEvent(ev.Event) }
+	if isSweep {
+		sw, err := c.WatchSweep(ctx, *id, onEvent)
+		if err != nil {
+			return err
+		}
+		if sw.State != pcmclient.StateDone {
+			return fmt.Errorf("sweep %s %s: %s", sw.ID, sw.State, sw.Error)
+		}
+		fmt.Fprintf(stderr, "sweep %s done\n", sw.ID)
+		return nil
+	}
+	j, err := c.Watch(ctx, *id, onEvent)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "job %s %s\n", j.ID, j.State)
+	return nil
 }
 
 func runTrace(ctx context.Context, args []string, stdout io.Writer) error {

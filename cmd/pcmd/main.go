@@ -10,9 +10,20 @@
 //	     [-job-timeout 15m] [-job-ttl 1h] [-max-jobs 4096]
 //	     [-snapshot path.json] [-snapshot-interval 1m]
 //	     [-drain-timeout 30s]
+//	     [-api-keys file|spec,...] [-anon-rate 0] [-anon-burst 0]
+//	     [-sse-heartbeat 15s]
 //	     [-peers http://b1:8080,http://b2:8080] [-sweep-retries 2]
 //	     [-hedge-after 30s] [-health-interval 15s]
 //	     [-log-format text|json] [-log-level info] [-pprof] [-version]
+//
+// -api-keys turns on the multi-tenant front door: its value is either a
+// keys file (one "name:key[:rate[:burst[:weight]]]" spec per line,
+// #-comments allowed; "@path" also accepted) or an inline comma-separated
+// spec list. Requests carrying a known X-Api-Key run as that tenant —
+// rate-limited by its token bucket and scheduled by weighted fair
+// queueing — while keyless requests fall back to the built-in anonymous
+// tenant (throttled by -anon-rate/-anon-burst; 0 leaves it unlimited).
+// Unknown keys get 401.
 //
 // With -peers, POST /v1/sweeps shards seed sweeps across the listed pcmd
 // backends (coordinator mode); without it, sweeps run on an in-process
@@ -45,6 +56,7 @@ import (
 
 	"pcmcomp/internal/obs"
 	"pcmcomp/internal/server"
+	"pcmcomp/internal/tenant"
 	"pcmcomp/internal/version"
 )
 
@@ -72,6 +84,10 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	snapshot := fs.String("snapshot", "", "crash-safety snapshot file (empty disables persistence)")
 	snapshotInterval := fs.Duration("snapshot-interval", time.Minute, "periodic snapshot cadence")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "shutdown drain deadline")
+	apiKeys := fs.String("api-keys", "", "tenant API keys: a keys file path, @path, or inline name:key[:rate[:burst[:weight]]] specs (comma-separated)")
+	anonRate := fs.Float64("anon-rate", 0, "anonymous-tenant submissions per second (0 = unlimited)")
+	anonBurst := fs.Float64("anon-burst", 0, "anonymous-tenant burst size (0 = rate)")
+	sseHeartbeat := fs.Duration("sse-heartbeat", 15*time.Second, "SSE heartbeat cadence (negative disables)")
 	peers := fs.String("peers", "", "comma-separated pcmd base URLs for coordinator mode (empty: sweeps run locally)")
 	sweepRetries := fs.Int("sweep-retries", 2, "per-shard re-dispatch budget for sweeps")
 	hedgeAfter := fs.Duration("hedge-after", 30*time.Second, "straggler-shard hedging delay (negative disables)")
@@ -104,6 +120,15 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		}
 	}
 
+	keyed, err := tenant.Load(*apiKeys)
+	if err != nil {
+		return err
+	}
+	tenants, err := tenant.NewRegistry(keyed, *anonRate, *anonBurst)
+	if err != nil {
+		return err
+	}
+
 	svc := server.New(server.Config{
 		Workers:          *workers,
 		QueueDepth:       *queue,
@@ -117,6 +142,8 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		SweepRetries:     *sweepRetries,
 		SweepHedgeAfter:  *hedgeAfter,
 		HealthInterval:   *healthInterval,
+		Tenants:          tenants,
+		SSEHeartbeat:     *sseHeartbeat,
 		Logger:           logger,
 		EnablePprof:      *enablePprof,
 	})

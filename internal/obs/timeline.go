@@ -2,6 +2,7 @@ package obs
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,15 +20,40 @@ type Event struct {
 	Fields map[string]string `json:"fields,omitempty"`
 }
 
+// SubEvent is one event as delivered to a live subscriber, tagged with
+// its monotonically-increasing sequence number (1-based over the
+// timeline's lifetime). Sequence numbers survive the ring dropping old
+// entries, so SSE clients can resume with Last-Event-ID.
+type SubEvent struct {
+	Seq   uint64
+	Event Event
+}
+
 // Timeline is a bounded, append-only event log attached to one job or
 // sweep. Writers append from worker goroutines; readers snapshot for the
-// /events endpoints and for persistence. Safe for concurrent use.
+// /events endpoints and for persistence, or subscribe for live delivery
+// (the SSE streaming path). Safe for concurrent use.
 type Timeline struct {
 	mu      sync.Mutex
 	cap     int
 	dropped uint64
+	total   uint64 // events ever appended; the latest event's Seq
 	events  []Event
+	subs    map[*Subscription]struct{}
 }
+
+// Subscription is one live listener on a timeline. Events arrive on C;
+// the channel is buffered and sends never block the writer — a slow
+// consumer loses events (counted in Missed) rather than stalling the
+// job. The subscriber must call Unsubscribe when done.
+type Subscription struct {
+	C      chan SubEvent
+	missed atomic.Uint64
+}
+
+// Missed reports how many events were dropped because the subscriber's
+// buffer was full (the SSE handler tells such a client to re-sync).
+func (s *Subscription) Missed() uint64 { return s.missed.Load() }
 
 // NewTimeline builds a timeline bounded to capEvents entries (<= 0
 // selects DefaultTimelineCap).
@@ -67,6 +93,14 @@ func (t *Timeline) AddAt(at time.Time, typ, msg string, fields ...string) {
 		t.events = append(t.events[:0], t.events[len(t.events)-half:]...)
 	}
 	t.events = append(t.events, ev)
+	t.total++
+	for sub := range t.subs {
+		select {
+		case sub.C <- SubEvent{Seq: t.total, Event: ev}:
+		default:
+			sub.missed.Add(1)
+		}
+	}
 }
 
 // Events snapshots the timeline in append order.
@@ -102,4 +136,61 @@ func (t *Timeline) Restore(events []Event) {
 		events = events[len(events)-t.cap:]
 	}
 	t.events = append([]Event(nil), events...)
+	t.total = uint64(len(t.events))
+}
+
+// SubscribeReplay atomically snapshots the retained history and registers
+// a live subscription, so the caller sees every event exactly once: the
+// replay slice first, then everything after it on sub.C — no gap and no
+// duplicate between the two. afterSeq trims the replay to events with
+// Seq > afterSeq (an SSE Last-Event-ID resume); pass 0 for the full
+// history. buffer sizes the live channel (<= 0 selects a sane default).
+func (t *Timeline) SubscribeReplay(afterSeq uint64, buffer int) (replay []SubEvent, sub *Subscription) {
+	if t == nil {
+		return nil, nil
+	}
+	if buffer <= 0 {
+		buffer = 64
+	}
+	sub = &Subscription{C: make(chan SubEvent, buffer)}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// The retained window is the last len(events) of total appends, so
+	// the first retained event carries Seq total-len+1.
+	firstSeq := t.total - uint64(len(t.events)) + 1
+	for i, ev := range t.events {
+		seq := firstSeq + uint64(i)
+		if seq <= afterSeq {
+			continue
+		}
+		replay = append(replay, SubEvent{Seq: seq, Event: ev})
+	}
+	if t.subs == nil {
+		t.subs = make(map[*Subscription]struct{})
+	}
+	t.subs[sub] = struct{}{}
+	return replay, sub
+}
+
+// Unsubscribe detaches a subscription registered by SubscribeReplay.
+// Idempotent; the channel is left open (readers drain and stop on their
+// own context, never on a close they might race).
+func (t *Timeline) Unsubscribe(sub *Subscription) {
+	if t == nil || sub == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.subs, sub)
+}
+
+// Subscribers reports the number of live subscriptions — the leak probe
+// for the SSE teardown tests and the pcmd_sse_active gauge.
+func (t *Timeline) Subscribers() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.subs)
 }

@@ -128,6 +128,10 @@ type Client struct {
 	MaxBackoff  time.Duration
 	// PollInterval is Wait's cadence (default 250ms).
 	PollInterval time.Duration
+	// APIKey, when set, is sent as X-Api-Key on every request, so the
+	// client acts as that tenant against a multi-tenant pcmd. Empty means
+	// the anonymous tenant.
+	APIKey string
 	// Logger, when set, narrates the client's retry machinery — each
 	// backoff sleep with its attempt, delay, and cause — plus submissions
 	// and cancellations. Nil stays silent (the default): the retries that
@@ -191,16 +195,31 @@ func (c *Client) doSleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// retryAfter parses a Retry-After seconds hint (0 when absent/unusable).
-func retryAfter(resp *http.Response) time.Duration {
+// retryAfter parses a Retry-After hint in either RFC 9110 form —
+// delta-seconds or an HTTP-date — relative to now. 0 when absent,
+// malformed, or already in the past. The caller clamps the hint; a
+// buggy or hostile server must not be able to park the client for
+// hours.
+func retryAfter(resp *http.Response, now time.Time) time.Duration {
 	if resp == nil {
 		return 0
 	}
-	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
-	if err != nil || secs <= 0 {
+	v := strings.TrimSpace(resp.Header.Get("Retry-After"))
+	if v == "" {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // do issues one request with the retry policy and decodes the JSON
@@ -224,6 +243,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		if c.APIKey != "" {
+			req.Header.Set("X-Api-Key", c.APIKey)
+		}
 		// Propagate the caller's trace so the server's spans join it.
 		obs.Inject(ctx, req)
 		retry, err := c.attempt(req, out)
@@ -241,6 +263,11 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		delay := c.backoff(attempt)
 		if hint := lastRetryAfter(err); hint > delay {
 			delay = hint
+		}
+		// The server's hint never overrides the client's own ceiling: an
+		// unclamped Retry-After could park the client for hours.
+		if c.MaxBackoff > 0 && delay > c.MaxBackoff {
+			delay = c.MaxBackoff
 		}
 		c.logger().Info("pcmclient: retrying",
 			"method", method, "path", path, "attempt", attempt+1,
@@ -288,10 +315,13 @@ func (c *Client) attempt(req *http.Request, out any) (retry bool, err error) {
 	if err != nil {
 		return true, &retryableError{err: err}
 	}
-	if resp.StatusCode >= 500 || resp.StatusCode == http.StatusServiceUnavailable {
+	if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+		// 5xx (full queue, draining, upstream trouble) and 429 (tenant
+		// quota) are transient: back off — honoring Retry-After — and
+		// resubmit.
 		return true, &retryableError{
 			err:  &APIError{StatusCode: resp.StatusCode, Message: errorMessage(buf)},
-			hint: retryAfter(resp),
+			hint: retryAfter(resp, time.Now()),
 		}
 	}
 	if resp.StatusCode >= 400 {
@@ -382,6 +412,9 @@ func (c *Client) Health(ctx context.Context) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
 	if err != nil {
 		return err
+	}
+	if c.APIKey != "" {
+		req.Header.Set("X-Api-Key", c.APIKey)
 	}
 	httpc := c.HTTPClient
 	if httpc == nil {

@@ -25,6 +25,7 @@ import (
 	"pcmcomp/internal/obs"
 	"pcmcomp/internal/scheme"
 	"pcmcomp/internal/stats"
+	"pcmcomp/internal/tenant"
 	"pcmcomp/internal/workload"
 )
 
@@ -221,6 +222,9 @@ type Job struct {
 	// Progress is filled on snapshots of running jobs from the live meter;
 	// it is never persisted (a restored terminal job has its result).
 	Progress *Progress `json:"progress,omitempty"`
+	// Tenant names the admission principal that submitted the job (empty
+	// for jobs created outside the front door, e.g. in tests).
+	Tenant string `json:"tenant,omitempty"`
 	// TraceID is the trace this job belongs to: adopted from the inbound
 	// propagation headers, or minted at submission.
 	TraceID string `json:"trace_id,omitempty"`
@@ -242,6 +246,9 @@ type Job struct {
 	// parent is the submitter's span (zero when the submission carried no
 	// propagation headers); the execution span becomes its child.
 	parent obs.SpanContext
+	// weight is the submitting tenant's fair-queueing share, captured at
+	// add so the pool needs no registry lookup.
+	weight int
 	// events is the job's flight-recorder timeline. The pointer is set at
 	// add/restore and never replaced, so reads need no store lock.
 	events *obs.Timeline
@@ -376,7 +383,10 @@ func (s *store) restore(jobs []Job, events map[string][]obs.Event, seq uint64) {
 
 // add registers a new job and assigns its ID. IDs embed a sequence number
 // and the cache-key prefix, so logs correlate job handles with results.
-func (s *store) add(kind Kind, p params, key string, now time.Time) *Job {
+// tn is the submitting tenant (nil for jobs created outside the front
+// door: its name labels the job document and its weight rides along for
+// the pool's fair queueing).
+func (s *store) add(kind Kind, p params, key string, tn *tenant.Tenant, now time.Time) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
@@ -390,6 +400,11 @@ func (s *store) add(kind Kind, p params, key string, now time.Time) *Job {
 		TraceID:  obs.NewTraceID(),
 		run:      p,
 		events:   obs.NewTimeline(0),
+		weight:   1,
+	}
+	if tn != nil {
+		j.Tenant = tn.Name
+		j.weight = tn.Weight
 	}
 	j.progress = &jobProgress{tl: j.events}
 	fields := []string{"kind", string(kind)}
@@ -423,6 +438,19 @@ func (s *store) events(id string) ([]obs.Event, uint64, bool) {
 		return nil, 0, false
 	}
 	return j.events.Events(), j.events.Dropped(), true
+}
+
+// timeline returns a job's flight-recorder timeline for live
+// subscription (the SSE streaming path). The pointer is set at add and
+// never replaced, so the caller may subscribe without holding the lock.
+func (s *store) timeline(id string) (*obs.Timeline, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.events, true
 }
 
 // get returns a snapshot of a job (copy, so callers can marshal it without
@@ -504,6 +532,27 @@ func (s *store) setFailed(j *Job, err error, spans []obs.SpanData, now time.Time
 	j.Finished = &now
 	j.events.AddAt(now, "failed", "", "cause", err.Error())
 	s.markTerminal(j)
+}
+
+// failPanicked records a job whose execution panicked: the recovering
+// worker could not reach a normal terminal transition, so the store
+// fails the job with the panic cause. It returns the job's prior state
+// and whether the transition happened — false when the job was somehow
+// already terminal (a panic after setDone/setFailed landed), in which
+// case touching the terminal list again would corrupt it.
+func (s *store) failPanicked(j *Job, cause any, now time.Time) (State, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prior := j.State
+	if prior.Terminal() {
+		return prior, false
+	}
+	j.State = StateFailed
+	j.Error = fmt.Sprintf("panic in job execution: %v", cause)
+	j.Finished = &now
+	j.events.AddAt(now, "failed", "worker recovered a panic", "cause", fmt.Sprint(cause))
+	s.markTerminal(j)
+	return prior, true
 }
 
 // setCanceled records a cancellation observed by the worker (the running

@@ -126,7 +126,7 @@ func TestStoreBoundedSoak(t *testing.T) {
 func TestStoreTTLSweep(t *testing.T) {
 	st := newStore(100, 50*time.Millisecond)
 	now := time.Now()
-	j := st.add(KindCompression, &CompressionParams{}, "00000000cafef00d", now)
+	j := st.add(KindCompression, &CompressionParams{}, "00000000cafef00d", nil, now)
 	st.setDone(j, json.RawMessage(`{}`), nil, now)
 	if n := st.sweep(now.Add(10 * time.Millisecond)); n != 0 {
 		t.Fatalf("swept %d young jobs", n)
@@ -260,7 +260,7 @@ func TestServerJobTimeout(t *testing.T) {
 		}
 	}()
 
-	j := s.store.add(KindLifetime, &blockParams{release: make(chan struct{})}, "00000000feedface", time.Now())
+	j := s.store.add(KindLifetime, &blockParams{release: make(chan struct{})}, "00000000feedface", nil, time.Now())
 	if s.pool.Submit(j) != submitOK {
 		t.Fatal("submit rejected")
 	}
@@ -398,7 +398,7 @@ func TestServerRejectionReasons(t *testing.T) {
 	}()
 
 	// Pin the worker...
-	j1 := s.store.add(KindLifetime, &blockParams{release: release}, "0000000000000001", time.Now())
+	j1 := s.store.add(KindLifetime, &blockParams{release: release}, "0000000000000001", s.tenants.Anonymous(), time.Now())
 	if s.pool.Submit(j1) != submitOK {
 		t.Fatal("first blocker rejected")
 	}
@@ -409,7 +409,7 @@ func TestServerRejectionReasons(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	// ...then fill the one queue slot.
-	j2 := s.store.add(KindLifetime, &blockParams{release: release}, "0000000000000002", time.Now())
+	j2 := s.store.add(KindLifetime, &blockParams{release: release}, "0000000000000002", s.tenants.Anonymous(), time.Now())
 	if s.pool.Submit(j2) != submitOK {
 		t.Fatal("second blocker rejected")
 	}
@@ -466,7 +466,7 @@ func TestServerRejectionReasons(t *testing.T) {
 	// The draining rejection above happens before pool.Submit (the drain
 	// gate), so the draining counter may be zero — force one through the
 	// pool to check the closed-pool path too.
-	j := s.store.add(KindLifetime, &blockParams{release: release}, "0000000000000003", time.Now())
+	j := s.store.add(KindLifetime, &blockParams{release: release}, "0000000000000003", nil, time.Now())
 	if got := s.pool.Submit(j); got != submitClosed {
 		t.Fatalf("closed-pool submit = %v, want submitClosed", got)
 	}

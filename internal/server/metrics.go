@@ -87,7 +87,15 @@ type metrics struct {
 	sweepSchemes map[string]uint64
 
 	httpPanics uint64                // handler panics recovered to 500s
+	jobPanics  uint64                // job-exec panics recovered by workers
 	http       map[string]*routeStat // per-route request accounting
+
+	// Front-door accounting, keyed by tenant name.
+	tenantSubmits   map[string]uint64 // submissions admitted past the quota
+	tenantThrottles map[string]uint64 // submissions refused with 429
+
+	sseActive  int64  // gauge: streaming /events connections open now
+	sseStreams uint64 // streaming /events connections ever opened
 }
 
 // routeStat is one route's HTTP accounting: requests by status code, the
@@ -107,7 +115,63 @@ func newMetrics() *metrics {
 		sweepSchemes: make(map[string]uint64),
 		latency:      make(map[Kind]*histogram),
 		http:         make(map[string]*routeStat),
+
+		tenantSubmits:   make(map[string]uint64),
+		tenantThrottles: make(map[string]uint64),
 	}
+}
+
+// tenantSubmitted counts one submission admitted past a tenant's quota.
+func (m *metrics) tenantSubmitted(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tenantSubmits[name]++
+}
+
+// tenantThrottled counts one submission refused with 429 for a tenant.
+func (m *metrics) tenantThrottled(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tenantThrottles[name]++
+}
+
+// jobPanicked accounts a job-exec panic a worker recovered. prior is the
+// job's lifecycle state before the panic transition ("" when the job was
+// already terminal and only the panic itself needs counting); the
+// matching gauge is unwound so queued/running stay balanced.
+func (m *metrics) jobPanicked(kind Kind, prior State, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobPanics++
+	switch prior {
+	case StateRunning:
+		m.running--
+		m.failed[kind]++
+		h := m.latency[kind]
+		if h == nil {
+			h = &histogram{}
+			m.latency[kind] = h
+		}
+		h.observe(elapsed.Seconds())
+	case StateQueued:
+		m.queued--
+		m.failed[kind]++
+	}
+}
+
+// sseStarted registers one open streaming /events connection.
+func (m *metrics) sseStarted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sseActive++
+	m.sseStreams++
+}
+
+// sseEnded releases one streaming /events connection.
+func (m *metrics) sseEnded() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sseActive--
 }
 
 // jobSchemesDone counts one completed run per scheme spec of a done job.
@@ -288,6 +352,15 @@ func (m *metrics) snapshotCacheHits() uint64 {
 	return m.cacheHits
 }
 
+// tenantQuota is one tenant's point-in-time front-door gauges: fair
+// queue occupancy and, for rate-limited tenants, the current token level.
+type tenantQuota struct {
+	name    string
+	depth   int
+	tokens  float64
+	limited bool
+}
+
 // runtimeStats are the point-in-time gauges WriteTo renders alongside the
 // accumulated counters: store/cache occupancy plus process-level health.
 type runtimeStats struct {
@@ -296,6 +369,8 @@ type runtimeStats struct {
 	evicted    uint64
 	goroutines int
 	uptime     time.Duration
+	// tenants carries the per-tenant gauge rows in render order.
+	tenants []tenantQuota
 }
 
 // WriteTo renders the Prometheus text format. Kinds are emitted in the
@@ -366,6 +441,43 @@ func (m *metrics) WriteTo(w io.Writer, rt runtimeStats) {
 	for _, s := range sweepSchemes {
 		fmt.Fprintf(w, "pcmd_sweeps_scheme_total{scheme=%q} %d\n", s, m.sweepSchemes[s])
 	}
+
+	// Front door: per-tenant admission counters and gauges. Counter rows
+	// are emitted for every tenant either counter has seen, sorted for
+	// stable scrapes; gauge rows come pre-ordered from the caller.
+	tenantNames := make(map[string]bool, len(m.tenantSubmits))
+	for name := range m.tenantSubmits {
+		tenantNames[name] = true
+	}
+	for name := range m.tenantThrottles {
+		tenantNames[name] = true
+	}
+	sortedTenants := make([]string, 0, len(tenantNames))
+	for name := range tenantNames {
+		sortedTenants = append(sortedTenants, name)
+	}
+	sort.Strings(sortedTenants)
+	fmt.Fprintf(w, "# TYPE pcmd_tenant_submitted_total counter\n")
+	for _, name := range sortedTenants {
+		fmt.Fprintf(w, "pcmd_tenant_submitted_total{tenant=%q} %d\n", name, m.tenantSubmits[name])
+	}
+	fmt.Fprintf(w, "# TYPE pcmd_tenant_throttled_total counter\n")
+	for _, name := range sortedTenants {
+		fmt.Fprintf(w, "pcmd_tenant_throttled_total{tenant=%q} %d\n", name, m.tenantThrottles[name])
+	}
+	fmt.Fprintf(w, "# TYPE pcmd_tenant_queue_depth gauge\n")
+	for _, tq := range rt.tenants {
+		fmt.Fprintf(w, "pcmd_tenant_queue_depth{tenant=%q} %d\n", tq.name, tq.depth)
+	}
+	fmt.Fprintf(w, "# TYPE pcmd_tenant_quota_tokens gauge\n")
+	for _, tq := range rt.tenants {
+		if tq.limited {
+			fmt.Fprintf(w, "pcmd_tenant_quota_tokens{tenant=%q} %g\n", tq.name, tq.tokens)
+		}
+	}
+	fmt.Fprintf(w, "# TYPE pcmd_job_panics_total counter\npcmd_job_panics_total %d\n", m.jobPanics)
+	fmt.Fprintf(w, "# TYPE pcmd_sse_active gauge\npcmd_sse_active %d\n", m.sseActive)
+	fmt.Fprintf(w, "# TYPE pcmd_sse_streams_total counter\npcmd_sse_streams_total %d\n", m.sseStreams)
 
 	routes := make([]string, 0, len(m.http))
 	for route := range m.http {

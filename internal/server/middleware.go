@@ -1,11 +1,13 @@
 package server
 
 import (
+	"context"
 	"net/http"
 	"runtime/debug"
 	"time"
 
 	"pcmcomp/internal/obs"
+	"pcmcomp/internal/tenant"
 )
 
 // statusWriter captures the status code and body size a handler produced,
@@ -35,6 +37,29 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the underlying writer so SSE handlers can stream
+// through the middleware. (Interface embedding does not promote Flush
+// into statusWriter's method set — the field's static type is
+// http.ResponseWriter — so the forwarding must be explicit.)
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// tenantKey carries the authenticated tenant in the request context.
+type tenantKey struct{}
+
+// tenantFrom returns the request's authenticated tenant. The auth
+// middleware installs one on every instrumented route, so handlers can
+// rely on it; the anonymous tenant covers the pathological nil case.
+func (s *Server) tenantFrom(r *http.Request) *tenant.Tenant {
+	if tn, ok := r.Context().Value(tenantKey{}).(*tenant.Tenant); ok {
+		return tn
+	}
+	return s.tenants.Anonymous()
+}
+
 // route registers one pattern on the mux wrapped in the observability
 // middleware. The pattern doubles as the route label on the HTTP metrics,
 // so every registration — not the raw request path — names a bounded
@@ -45,14 +70,23 @@ func (s *Server) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
 }
 
 // instrument wraps a handler with the request-scoped observability stack:
-// trace extraction from the propagation headers, a context logger carrying
-// the request identity, per-route in-flight/latency/status metrics, an
-// access log line, and panic recovery to a logged 500.
+// X-Api-Key tenant resolution (unknown keys are refused with 401; a
+// missing key maps to the anonymous tenant), trace extraction from the
+// propagation headers, a context logger carrying the request identity,
+// per-route in-flight/latency/status metrics, an access log line, and
+// panic recovery to a logged 500.
 func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		tn, knownKey := s.tenants.Lookup(r.Header.Get("X-Api-Key"))
 		ctx := obs.WithRing(r.Context(), s.ring)
 		reqLog := s.log.With("method", r.Method, "path", r.URL.Path)
+		if knownKey {
+			ctx = context.WithValue(ctx, tenantKey{}, tn)
+			if tn.Name != tenant.AnonymousName {
+				reqLog = reqLog.With("tenant", tn.Name)
+			}
+		}
 		if sc := obs.Extract(r); sc.Valid() {
 			ctx = obs.WithRemoteParent(ctx, sc)
 			reqLog = reqLog.With("trace_id", sc.TraceID)
@@ -80,6 +114,12 @@ func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc
 				"status", sw.code, "bytes", sw.bytes,
 				"duration_ms", float64(elapsed)/float64(time.Millisecond))
 		}()
+		if !knownKey {
+			// A present-but-unknown key is refused everywhere; only a
+			// missing key falls through to the anonymous tenant.
+			writeError(sw, http.StatusUnauthorized, "unknown API key")
+			return
+		}
 		h(sw, r.WithContext(ctx))
 	}
 }

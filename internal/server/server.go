@@ -50,6 +50,7 @@ import (
 	"pcmcomp/internal/cluster"
 	"pcmcomp/internal/obs"
 	"pcmcomp/internal/scheme"
+	"pcmcomp/internal/tenant"
 	"pcmcomp/internal/workload"
 )
 
@@ -105,6 +106,16 @@ type Config struct {
 	// TraceRingSize bounds the in-memory ring of completed traces behind
 	// /debug/traces (default obs.DefaultMaxTraces).
 	TraceRingSize int
+	// Tenants is the multi-tenant front door's registry: API keys, per
+	// tenant token-bucket submission quotas, and fair-queueing weights.
+	// Nil builds a registry with only the unlimited anonymous tenant, so
+	// a keyless deployment behaves exactly as before multi-tenancy
+	// existed.
+	Tenants *tenant.Registry
+	// SSEHeartbeat is the idle-comment cadence on streaming /events
+	// responses, keeping proxies from reaping quiet connections (default
+	// 15s; negative disables).
+	SSEHeartbeat time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +152,17 @@ func (c Config) withDefaults() Config {
 	if c.HealthInterval <= 0 {
 		c.HealthInterval = 15 * time.Second
 	}
+	if c.Tenants == nil {
+		// Only the error paths are tenant validation; with no tenants
+		// there is nothing to invalidate.
+		c.Tenants, _ = tenant.NewRegistry(nil, 0, 0)
+	}
+	switch {
+	case c.SSEHeartbeat == 0:
+		c.SSEHeartbeat = 15 * time.Second
+	case c.SSEHeartbeat < 0:
+		c.SSEHeartbeat = 0 // disabled
+	}
 	return c
 }
 
@@ -164,6 +186,7 @@ type Server struct {
 	log     *slog.Logger // structured log sink (never nil; nop by default)
 	ring    *obs.Ring    // completed-trace ring behind /debug/traces
 	started time.Time    // process start, for the uptime gauge
+	tenants *tenant.Registry
 
 	// Distributed-sweep coordinator (see internal/cluster): remote peers
 	// in coordinator mode, an in-process loopback backend otherwise.
@@ -190,6 +213,7 @@ func New(cfg Config) *Server {
 		log:     cfg.Logger,
 		ring:    obs.NewRing(cfg.TraceRingSize),
 		started: time.Now(),
+		tenants: cfg.Tenants,
 	}
 	if s.log == nil {
 		s.log = obs.NopLogger()
@@ -201,7 +225,7 @@ func New(cfg Config) *Server {
 	// carry through even off the request path.
 	s.jobCtx, s.cancelJobs = context.WithCancel(
 		obs.WithLogger(obs.WithRing(context.Background(), s.ring), s.log))
-	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.execute)
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.execute, s.jobPanicked)
 	s.initCoordinator()
 	go s.housekeeping()
 
@@ -209,6 +233,7 @@ func New(cfg Config) *Server {
 	s.route(mux, "POST /v1/jobs/lifetime", s.submitHandler(KindLifetime))
 	s.route(mux, "POST /v1/jobs/failure-probability", s.submitHandler(KindFailureProbability))
 	s.route(mux, "POST /v1/jobs/compression", s.submitHandler(KindCompression))
+	s.route(mux, "POST /v1/jobs:batch", s.handleSubmitBatch)
 	s.route(mux, "GET /v1/jobs/{id}", s.handleGetJob)
 	s.route(mux, "GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.route(mux, "DELETE /v1/jobs/{id}", s.handleCancelJob)
@@ -438,6 +463,42 @@ func (s *Server) execute(j *Job) {
 	jobLog.Info("job done", "elapsed", finished.Sub(start))
 }
 
+// jobPanicked is the pool's recovery callback: a panic escaped a job's
+// exec, the worker survived, and the job must land failed with the panic
+// cause. The metrics move matches the job's prior lifecycle state so the
+// queued/running gauges stay balanced; a panic after a normal terminal
+// transition (already counted) only moves the panic counter.
+func (s *Server) jobPanicked(j *Job, cause any) {
+	now := time.Now()
+	prior, transitioned := s.store.failPanicked(j, cause, now)
+	if !transitioned {
+		prior = "" // already accounted; only count the panic itself
+	}
+	var elapsed time.Duration
+	if j.Started != nil {
+		elapsed = now.Sub(*j.Started)
+	}
+	s.metrics.jobPanicked(j.Kind, prior, elapsed)
+	s.log.Error("panic in job execution; worker recovered",
+		"job_id", j.ID, "kind", string(j.Kind), "panic", fmt.Sprint(cause))
+}
+
+// throttle refuses a rate-limited submission with 429 and a Retry-After
+// hint derived from the tenant's bucket (whole seconds, at least 1).
+func (s *Server) throttle(w http.ResponseWriter, tn *tenant.Tenant, hint time.Duration) {
+	s.metrics.tenantThrottled(tn.Name)
+	secs := int(hint / time.Second)
+	if hint%time.Second != 0 {
+		secs++
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusTooManyRequests,
+		fmt.Sprintf("tenant %q submission quota exhausted, retry in %ds", tn.Name, secs))
+}
+
 // submitHandler builds the POST handler for one job kind.
 func (s *Server) submitHandler(kind Kind) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -462,7 +523,16 @@ func (s *Server) submitHandler(kind Kind) http.HandlerFunc {
 			return
 		}
 		now := time.Now()
-		j := s.store.add(kind, p, key, now)
+		tn := s.tenantFrom(r)
+		// The quota charges every valid submission — cache hits included —
+		// because admission control protects the front door, not just the
+		// workers.
+		if hint, ok := tn.Take(now, 1); !ok {
+			s.throttle(w, tn, hint)
+			return
+		}
+		s.metrics.tenantSubmitted(tn.Name)
+		j := s.store.add(kind, p, key, tn, now)
 		if rp := obs.RemoteParent(r.Context()); rp.TraceID != "" {
 			// The submitter propagated a trace (a coordinator's dispatch
 			// span); this job's execution joins it instead of rooting its own.
@@ -677,12 +747,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	now := time.Now()
+	depths := s.pool.Depths()
+	quotas := make([]tenantQuota, 0, len(depths))
+	for _, tn := range s.tenants.Tenants() {
+		q := tenantQuota{name: tn.Name, depth: depths[tn.Name]}
+		delete(depths, tn.Name)
+		q.tokens, q.limited = tn.TokenLevel(now)
+		quotas = append(quotas, q)
+	}
+	// Tenants the queue has seen but the registry does not know (jobs
+	// enqueued by embedders/tests) still get a depth gauge.
+	leftover := make([]string, 0, len(depths))
+	for name := range depths {
+		leftover = append(leftover, name)
+	}
+	sort.Strings(leftover)
+	for _, name := range leftover {
+		quotas = append(quotas, tenantQuota{name: name, depth: depths[name]})
+	}
 	s.metrics.WriteTo(w, runtimeStats{
 		cacheLen:   s.cache.Len(),
 		storeLen:   s.store.size(),
 		evicted:    s.store.evictedCount(),
 		goroutines: runtime.NumGoroutine(),
 		uptime:     time.Since(s.started),
+		tenants:    quotas,
 	})
 	writeClusterMetrics(w, s.coord.Metrics(), s.coord.Backends())
 }

@@ -409,7 +409,7 @@ func TestServerQueueFull(t *testing.T) {
 	defer releaseAll()
 
 	// First blocker occupies the worker...
-	j1 := s.store.add(KindLifetime, &blockParams{release: release}, "0000000000000001", time.Now())
+	j1 := s.store.add(KindLifetime, &blockParams{release: release}, "0000000000000001", s.tenants.Anonymous(), time.Now())
 	if s.pool.Submit(j1) != submitOK {
 		t.Fatal("first blocker rejected")
 	}
@@ -420,7 +420,7 @@ func TestServerQueueFull(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	// ...the second fills the queue slot...
-	j2 := s.store.add(KindLifetime, &blockParams{release: release}, "0000000000000002", time.Now())
+	j2 := s.store.add(KindLifetime, &blockParams{release: release}, "0000000000000002", s.tenants.Anonymous(), time.Now())
 	if s.pool.Submit(j2) != submitOK {
 		t.Fatal("second blocker rejected")
 	}

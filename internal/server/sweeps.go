@@ -35,6 +35,9 @@ type SweepStatus struct {
 	ShardsTotal int                  `json:"shards_total"`
 	Result      json.RawMessage      `json:"result,omitempty"`
 	Error       string               `json:"error,omitempty"`
+	// Tenant names the admission principal that submitted the sweep
+	// (empty for sweeps restored from pre-tenancy snapshots).
+	Tenant string `json:"tenant,omitempty"`
 	// TraceID names the trace whose span tree covers this sweep's
 	// coordination: dispatches, retries, hedges, and the remote execution
 	// spans the backends report back. Fetch it from /debug/traces/{id}.
@@ -63,7 +66,7 @@ func newSweepStore() *sweepStore {
 	return &sweepStore{sweeps: make(map[string]*sweepJob)}
 }
 
-func (s *sweepStore) add(req cluster.SweepRequest, cancel context.CancelCauseFunc, traceID string, now time.Time) *sweepJob {
+func (s *sweepStore) add(req cluster.SweepRequest, cancel context.CancelCauseFunc, traceID, tenantName string, now time.Time) *sweepJob {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
@@ -75,6 +78,7 @@ func (s *sweepStore) add(req cluster.SweepRequest, cancel context.CancelCauseFun
 			Request:     req,
 			ShardsTotal: req.ShardCount(),
 			TraceID:     traceID,
+			Tenant:      tenantName,
 		},
 		cancel: cancel,
 		events: obs.NewTimeline(0),
@@ -129,6 +133,18 @@ func (s *sweepStore) events(id string) ([]obs.Event, uint64, bool) {
 		return nil, 0, false
 	}
 	return sw.events.Events(), sw.events.Dropped(), true
+}
+
+// timeline returns a sweep's flight-recorder timeline for live
+// subscription (the SSE streaming path).
+func (s *sweepStore) timeline(id string) (*obs.Timeline, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	if !ok {
+		return nil, false
+	}
+	return sw.events, true
 }
 
 // evictLocked drops the oldest terminal sweeps beyond the bound.
@@ -347,6 +363,15 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	now := time.Now()
+	tn := s.tenantFrom(r)
+	// One sweep charges one quota token, same as a job submission: the
+	// bucket protects admission, while the sweep's shards compete through
+	// the coordinator's own concurrency bound.
+	if hint, ok := tn.Take(now, 1); !ok {
+		s.throttle(w, tn, hint)
+		return
+	}
+	s.metrics.tenantSubmitted(tn.Name)
 
 	ctx, cancel := context.WithCancelCause(s.jobCtx)
 	// The sweep span roots the trace (or joins the submitter's, when the
@@ -355,7 +380,7 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	// coordinator goroutine finishes.
 	ctx = obs.WithRemoteParent(ctx, obs.RemoteParent(r.Context()))
 	ctx, span := obs.Start(ctx, "sweep")
-	sw := s.sweeps.add(req, cancel, span.Context().TraceID, now)
+	sw := s.sweeps.add(req, cancel, span.Context().TraceID, tn.Name, now)
 	id := sw.doc.ID
 	span.SetAttr("sweep_id", id)
 	span.SetAttr("kind", req.Kind)
@@ -379,12 +404,25 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 
 	s.metrics.sweepStarted()
 	sweepLog.Info("sweep accepted", "seeds", req.SeedCount)
+	// The coordinator re-normalizes the request it is handed, writing the
+	// Schemes entries in place; the stored sweep document shares this
+	// request's backing stores and is marshaled concurrently (the 202
+	// response below, GET /v1/sweeps pollers). Hand the coordinator its
+	// own copies so the idempotent rewrite cannot race a reader.
+	coordReq := req
+	coordReq.Schemes = append([]string(nil), req.Schemes...)
+	if req.Params != nil {
+		coordReq.Params = make(map[string]any, len(req.Params))
+		for k, v := range req.Params {
+			coordReq.Params[k] = v
+		}
+	}
 	s.sweepWG.Add(1)
 	go func() {
 		defer s.sweepWG.Done()
 		defer cancel(nil)
 		s.sweeps.setRunning(id)
-		res, err := s.coord.SweepWithHooks(ctx, req, cluster.SweepHooks{
+		res, err := s.coord.SweepWithHooks(ctx, coordReq, cluster.SweepHooks{
 			OnProgress: func(done, total int) { s.sweeps.setProgress(id, done) },
 			OnEvent:    func(ev cluster.ShardEvent) { s.sweeps.recordShardEvent(id, ev) },
 		})

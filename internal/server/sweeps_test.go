@@ -332,7 +332,7 @@ func (p *progressParams) run(ctx context.Context, pr *jobProgress) (any, error) 
 func TestJobProgressSnapshot(t *testing.T) {
 	s, ts := newTestServer(t)
 	release := make(chan struct{})
-	j := s.store.add(KindLifetime, &progressParams{release: release}, "00000000deadbeef", time.Now())
+	j := s.store.add(KindLifetime, &progressParams{release: release}, "00000000deadbeef", nil, time.Now())
 	if s.pool.Submit(j) != submitOK {
 		t.Fatal("submit rejected")
 	}

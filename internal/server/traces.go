@@ -32,9 +32,20 @@ func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleJobEvents implements GET /v1/jobs/{id}/events: the job's
-// flight-recorder timeline.
+// flight-recorder timeline as one JSON document, or — when the client
+// negotiates Accept: text/event-stream — an SSE stream that replays the
+// timeline and then follows live events until the job is terminal.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if wantsSSE(r) {
+		tl, ok := s.store.timeline(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		s.streamEvents(w, r, tl)
+		return
+	}
 	events, dropped, ok := s.store.events(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no such job")
@@ -45,9 +56,19 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 
 // handleSweepEvents implements GET /v1/sweeps/{id}/events: the sweep's
 // flight-recorder timeline, including per-shard dispatch/retry/hedge
-// scheduling decisions and the merge.
+// scheduling decisions and the merge. Streams over SSE when negotiated,
+// like handleJobEvents.
 func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if wantsSSE(r) {
+		tl, ok := s.sweeps.timeline(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such sweep")
+			return
+		}
+		s.streamEvents(w, r, tl)
+		return
+	}
 	events, dropped, ok := s.sweeps.events(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no such sweep")

@@ -1,0 +1,63 @@
+package tenant
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Bucket is a token bucket: it refills at rate tokens per second up to
+// burst, and Take spends tokens atomically. Time is passed in rather than
+// read, so tests drive the clock and the server stamps one time.Now per
+// request.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time // last refill instant (zero until the first Take/Level)
+}
+
+// NewBucket builds a bucket born full.
+func NewBucket(rate, burst float64) *Bucket {
+	return &Bucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// refillLocked advances the bucket to now.
+func (b *Bucket) refillLocked(now time.Time) {
+	if !b.last.IsZero() && now.After(b.last) {
+		b.tokens = math.Min(b.burst, b.tokens+b.rate*now.Sub(b.last).Seconds())
+	}
+	if now.After(b.last) {
+		b.last = now
+	}
+}
+
+// Take attempts to spend n tokens at time now. On refusal it returns how
+// long until n tokens will have accumulated — the Retry-After hint — and
+// leaves the bucket untouched. n larger than burst can never succeed; the
+// hint is then the time to fill the whole bucket (callers should reject
+// such batches outright via Burst).
+func (b *Bucket) Take(now time.Time, n float64) (time.Duration, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	if b.tokens >= n {
+		b.tokens -= n
+		return 0, true
+	}
+	need := math.Min(n, b.burst) - b.tokens
+	return time.Duration(need / b.rate * float64(time.Second)), false
+}
+
+// Level returns the current token count (after refilling to now), for
+// the quota gauge.
+func (b *Bucket) Level(now time.Time) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	return b.tokens
+}
+
+// Burst returns the bucket capacity.
+func (b *Bucket) Burst() float64 { return b.burst }

@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# Multi-tenant front-door smoke: boot a real pcmd with two API keys,
+# batch-submit as one tenant, stream a job's flight recorder through
+# `pcmctl events -follow` (SSE), exhaust a tight quota to observe the
+# 429-with-Retry-After contract, and require non-empty per-tenant
+# metrics. Exercises the same binaries and flags an operator would use,
+# so a wiring regression (auth middleware dropped, batch route gone, SSE
+# negotiation broken, tenant counters never incremented) fails CI even
+# if unit tests pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+addr=127.0.0.1:18081
+work=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null && wait "$pid" 2>/dev/null
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/pcmd" ./cmd/pcmd
+go build -o "$work/pcmctl" ./cmd/pcmctl
+
+# Two tenants: alice is deliberately starved (0.1 submissions/s, burst
+# 2) so the quota trips inside the test; bob is generous.
+cat >"$work/keys" <<'EOF'
+# name:key[:rate[:burst[:weight]]]
+alice:alice-secret-key:0.1:2:1
+bob:bob-secret-key:100:50:2
+EOF
+
+"$work/pcmd" -addr "$addr" -api-keys "$work/keys" -log-format json \
+  2>"$work/pcmd.log" &
+pid=$!
+for _ in $(seq 1 100); do
+  curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "http://$addr/healthz" >/dev/null || {
+  echo "pcmd never became healthy"; cat "$work/pcmd.log"; exit 1
+}
+
+# Unknown keys are rejected everywhere.
+code=$(curl -s -o /dev/null -w '%{http_code}' -H 'X-Api-Key: wrong' "http://$addr/v1/jobs")
+[ "$code" = 401 ] || { echo "unknown API key answered $code, want 401"; exit 1; }
+
+# Batch submission as bob: two jobs admitted atomically.
+code=$(curl -s -o "$work/batch.json" -w '%{http_code}' \
+  -H 'X-Api-Key: bob-secret-key' "http://$addr/v1/jobs:batch" \
+  -d '{"jobs":[
+        {"kind":"compression","params":{"apps":["milc"],"scale":"quick"}},
+        {"kind":"failure-probability","params":{"scheme":"ecp","window":16,"max_errors":8,"trials":2000}}
+      ]}')
+[ "$code" = 202 ] || [ "$code" = 200 ] || {
+  echo "batch submit -> $code"; cat "$work/batch.json"; exit 1
+}
+grep -q '"count": 2' "$work/batch.json" || {
+  echo "batch did not admit 2 jobs:"; cat "$work/batch.json"; exit 1
+}
+grep -q '"tenant": "bob"' "$work/batch.json" || {
+  echo "batch jobs not stamped with their tenant:"; cat "$work/batch.json"; exit 1
+}
+jid=$(grep -o '"id": "[^"]*"' "$work/batch.json" | head -1 | cut -d'"' -f4)
+[ -n "$jid" ] || { echo "batch returned no job id"; exit 1; }
+
+# Follow the first batch job's flight recorder over SSE until terminal:
+# the stream must replay history, follow live, and end on the terminal
+# frame (pcmctl exits 0 only when the job lands done).
+"$work/pcmctl" events -server "http://$addr" -id "$jid" \
+  -api-key bob-secret-key -follow >"$work/events.txt"
+grep -q 'queued' "$work/events.txt" || {
+  echo "followed stream missed the replayed queued event:"; cat "$work/events.txt"; exit 1
+}
+grep -q 'done' "$work/events.txt" || {
+  echo "followed stream never saw the terminal event:"; cat "$work/events.txt"; exit 1
+}
+
+# A bare (non-follow) fetch of the same timeline still works.
+"$work/pcmctl" events -server "http://$addr" -id "$jid" >"$work/events-once.txt"
+grep -q 'done' "$work/events-once.txt" || {
+  echo "one-shot events fetch lacks the done event"; exit 1
+}
+
+# Exhaust alice's quota: burst 2 at 0.1/s means the third rapid
+# submission must bounce with 429 and a Retry-After hint.
+saw429=""
+for i in 1 2 3 4; do
+  code=$(curl -s -D "$work/headers" -o "$work/throttle.json" -w '%{http_code}' \
+    -H 'X-Api-Key: alice-secret-key' "http://$addr/v1/jobs/compression" \
+    -d "{\"apps\":[\"milc\"],\"scale\":\"quick\"}")
+  if [ "$code" = 429 ]; then saw429=yes; break; fi
+  [ "$code" = 202 ] || [ "$code" = 200 ] || {
+    echo "alice submission $i -> $code"; cat "$work/throttle.json"; exit 1
+  }
+done
+[ -n "$saw429" ] || { echo "alice's quota never tripped (no 429 in 4 submissions)"; exit 1; }
+grep -qi '^retry-after:' "$work/headers" || {
+  echo "429 carried no Retry-After header:"; cat "$work/headers"; exit 1
+}
+grep -q 'quota exhausted' "$work/throttle.json" || {
+  echo "429 body does not explain the quota:"; cat "$work/throttle.json"; exit 1
+}
+
+# Per-tenant metrics are live: submissions for both tenants, a throttle
+# for alice only, and the panic counter at zero.
+curl -fsS "http://$addr/metrics" >"$work/metrics"
+grep -q '^pcmd_tenant_submitted_total{tenant="bob"} [1-9]' "$work/metrics" || {
+  echo "/metrics: no bob submissions"; exit 1
+}
+grep -q '^pcmd_tenant_submitted_total{tenant="alice"} [1-9]' "$work/metrics" || {
+  echo "/metrics: no alice submissions"; exit 1
+}
+grep -q '^pcmd_tenant_throttled_total{tenant="alice"} [1-9]' "$work/metrics" || {
+  echo "/metrics: alice throttle not counted"; exit 1
+}
+grep -q '^pcmd_tenant_throttled_total{tenant="bob"} 0' "$work/metrics" || {
+  echo "/metrics: bob unexpectedly throttled"; exit 1
+}
+grep -q '^pcmd_tenant_quota_tokens{tenant="alice"}' "$work/metrics" || {
+  echo "/metrics: no alice quota gauge"; exit 1
+}
+grep -q '^pcmd_sse_streams_total [1-9]' "$work/metrics" || {
+  echo "/metrics: SSE stream never counted"; exit 1
+}
+grep -q '^pcmd_job_panics_total 0' "$work/metrics" || {
+  echo "/metrics: panic counter not zero"; exit 1
+}
+
+echo "frontdoor smoke OK (job $jid streamed, alice throttled, bob served)"
