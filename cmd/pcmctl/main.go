@@ -9,13 +9,24 @@
 //	pcmctl sweep -kind lifetime -params '{"app":"milc","scale":"quick"}' \
 //	       -seeds 8 [-seed-start 1] \
 //	       [-schemes 'baseline;comp=bdi+fpc,ecc=ecp6,enc=coset4,wl=startgap'] \
+//	       [-trace file.pcmt | -trace sha256:...] \
 //	       -peers http://b1:8080,http://b2:8080 | -local | -submit http://coord:8080 \
 //	       [-retries 2] [-hedge-after 30s] [-shard-timeout 15m] [-concurrency N]
 //	pcmctl jobs -server http://b1:8080 [-state running] [-limit 100] [-offset 0]
 //	pcmctl events -server http://b1:8080 -id j000001-abcd1234 [-follow] [-api-key KEY]
 //	pcmctl cancel -server http://b1:8080 -id j000001-abcd1234
+//	pcmctl trace upload -server http://b1:8080 [-api-key KEY] file.pcmt
+//	pcmctl trace ls -server http://b1:8080
+//	pcmctl trace rm -server http://b1:8080 sha256:...
 //	pcmctl trace -server http://b1:8080 [-id <trace-id>]
 //	pcmctl -version
+//
+// trace upload/ls/rm manage the server's content-addressed store of
+// uploaded write-back traces (POST /v1/traces): upload prints the
+// trace's sha256: digest, which `sweep -trace` and the lifetime and
+// failure-probability job params accept in place of a synthetic workload.
+// sweep -trace with a file path uploads it first (to the coordinator, or
+// to every peer) and substitutes the digest automatically.
 //
 // events renders a job's (or sweep's — IDs starting with "s") flight
 // recorder. Without -follow it fetches the retained timeline once; with
@@ -36,6 +47,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -53,6 +65,7 @@ import (
 	"pcmcomp/internal/obs"
 	"pcmcomp/internal/pcmclient"
 	"pcmcomp/internal/server"
+	"pcmcomp/internal/tracestore"
 	"pcmcomp/internal/version"
 )
 
@@ -128,6 +141,7 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	shardTimeout := fs.Duration("shard-timeout", 15*time.Minute, "per-attempt shard deadline")
 	concurrency := fs.Int("concurrency", 0, "max shards in flight (0 = 2 x backends)")
 	quiet := fs.Bool("quiet", false, "suppress progress output")
+	traceArg := fs.String("trace", "", "trace for trace-driven shards: a sha256: digest, or a trace file uploaded before the sweep")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -135,6 +149,18 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	var params map[string]any
 	if err := json.Unmarshal([]byte(*paramsJSON), &params); err != nil {
 		return fmt.Errorf("-params is not a JSON object: %w", err)
+	}
+	var localTraces *tracestore.Store
+	if *traceArg != "" {
+		digest, st, err := prepareSweepTrace(ctx, *traceArg, *submit, splitPeers(*peers))
+		if err != nil {
+			return err
+		}
+		if params == nil {
+			params = map[string]any{}
+		}
+		params["trace"] = digest
+		localTraces = st
 	}
 	req := cluster.SweepRequest{
 		Kind:      *kind,
@@ -168,6 +194,9 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		// pcmd: the loopback backend runs the server's local pipeline.
 		backends = append(backends, cluster.NewLoopback("local", 1,
 			func(ctx context.Context, kind string, params json.RawMessage) (json.RawMessage, error) {
+				if localTraces != nil {
+					ctx = tracestore.WithResolver(ctx, localTraces)
+				}
 				return server.ExecuteLocal(ctx, server.Kind(kind), params)
 			}))
 	}
@@ -204,6 +233,52 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(res)
+}
+
+// prepareSweepTrace resolves the -trace argument into a digest every shard
+// can use. A "sha256:" digest passes through untouched (the serving side
+// must already hold it). A file path is read and uploaded first: to the
+// -submit coordinator, to every -peers backend (each executes shards
+// independently, so each needs the bytes), or — with neither — into an
+// in-process store the loopback backend resolves from.
+func prepareSweepTrace(ctx context.Context, arg, submit string, peers []string) (string, *tracestore.Store, error) {
+	if strings.HasPrefix(arg, tracestore.DigestPrefix) {
+		if submit == "" && len(peers) == 0 {
+			return "", nil, fmt.Errorf("-trace with a bare digest needs -submit or -peers; local runs must name a trace file")
+		}
+		digest, err := tracestore.ParseDigest(arg)
+		return digest, nil, err
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		return "", nil, err
+	}
+	var targets []string
+	switch {
+	case submit != "":
+		targets = []string{submit}
+	case len(peers) > 0:
+		targets = peers
+	default:
+		st, err := tracestore.Open(tracestore.Options{})
+		if err != nil {
+			return "", nil, err
+		}
+		meta, _, err := st.Put(bytes.NewReader(data))
+		if err != nil {
+			return "", nil, err
+		}
+		return meta.Digest, st, nil
+	}
+	digest := ""
+	for _, t := range targets {
+		meta, _, err := pcmclient.New(t).UploadTrace(ctx, data)
+		if err != nil {
+			return "", nil, fmt.Errorf("upload trace to %s: %w", t, err)
+		}
+		digest = meta.Digest
+	}
+	return digest, nil, nil
 }
 
 // submitSweep runs the sweep server-side: POST /v1/sweeps on a
@@ -350,7 +425,102 @@ func runEvents(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	return nil
 }
 
+// runTrace dispatches the data-trace subcommands (upload, ls, rm) and
+// falls back to the observability-trace renderer for everything else.
 func runTrace(ctx context.Context, args []string, stdout io.Writer) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "upload":
+			return runTraceUpload(ctx, args[1:], stdout)
+		case "ls":
+			return runTraceList(ctx, args[1:], stdout)
+		case "rm":
+			return runTraceRemove(ctx, args[1:], stdout)
+		}
+	}
+	return runObsTrace(ctx, args, stdout)
+}
+
+// runTraceUpload implements `pcmctl trace upload -server URL file`: post a
+// trace file (tracegen binary, gzip, or NDJSON) to POST /v1/traces and
+// print the stored document. Re-uploading a known trace is a no-op that
+// still prints the digest.
+func runTraceUpload(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pcmctl trace upload", flag.ContinueOnError)
+	serverURL := fs.String("server", "", "pcmd base URL (required)")
+	apiKey := fs.String("api-key", "", "tenant API key (X-Api-Key header)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *serverURL == "" || fs.NArg() != 1 {
+		return fmt.Errorf("usage: pcmctl trace upload -server URL [-api-key KEY] <trace-file>")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	c := pcmclient.New(*serverURL)
+	c.APIKey = *apiKey
+	meta, stored, err := c.UploadTrace(ctx, data)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{"trace": meta, "stored": stored})
+}
+
+// runTraceList implements `pcmctl trace ls -server URL`.
+func runTraceList(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pcmctl trace ls", flag.ContinueOnError)
+	serverURL := fs.String("server", "", "pcmd base URL (required)")
+	apiKey := fs.String("api-key", "", "tenant API key (X-Api-Key header)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *serverURL == "" {
+		return fmt.Errorf("-server is required")
+	}
+	c := pcmclient.New(*serverURL)
+	c.APIKey = *apiKey
+	traces, err := c.ListTraces(ctx)
+	if err != nil {
+		return err
+	}
+	if len(traces) == 0 {
+		fmt.Fprintln(stdout, "no traces stored")
+		return nil
+	}
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "DIGEST\tBYTES\tEVENTS\tLINES\tCREATED")
+	for _, t := range traces {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\n",
+			t.Digest, t.Bytes, t.Events, t.Lines, t.Created.Format(time.RFC3339))
+	}
+	return tw.Flush()
+}
+
+// runTraceRemove implements `pcmctl trace rm -server URL <digest>`.
+func runTraceRemove(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pcmctl trace rm", flag.ContinueOnError)
+	serverURL := fs.String("server", "", "pcmd base URL (required)")
+	apiKey := fs.String("api-key", "", "tenant API key (X-Api-Key header)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *serverURL == "" || fs.NArg() != 1 {
+		return fmt.Errorf("usage: pcmctl trace rm -server URL [-api-key KEY] <digest>")
+	}
+	c := pcmclient.New(*serverURL)
+	c.APIKey = *apiKey
+	if err := c.DeleteTrace(ctx, fs.Arg(0)); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "deleted", fs.Arg(0))
+	return nil
+}
+
+func runObsTrace(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pcmctl trace", flag.ContinueOnError)
 	serverURL := fs.String("server", "", "pcmd base URL (required)")
 	id := fs.String("id", "", "trace ID to render (empty: list retained traces)")

@@ -12,6 +12,8 @@
 //	     [-drain-timeout 30s]
 //	     [-api-keys file|spec,...] [-anon-rate 0] [-anon-burst 0]
 //	     [-sse-heartbeat 15s]
+//	     [-trace-dir dir] [-trace-ttl 168h] [-trace-max-bytes 1073741824]
+//	     [-trace-byte-rate 0] [-trace-byte-burst 0] [-advertise URL]
 //	     [-peers http://b1:8080,http://b2:8080] [-sweep-retries 2]
 //	     [-hedge-after 30s] [-health-interval 15s]
 //	     [-log-format text|json] [-log-level info] [-pprof] [-version]
@@ -88,6 +90,12 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	anonRate := fs.Float64("anon-rate", 0, "anonymous-tenant submissions per second (0 = unlimited)")
 	anonBurst := fs.Float64("anon-burst", 0, "anonymous-tenant burst size (0 = rate)")
 	sseHeartbeat := fs.Duration("sse-heartbeat", 15*time.Second, "SSE heartbeat cadence (negative disables)")
+	traceDir := fs.String("trace-dir", "", "uploaded-trace spool directory (empty: traces stay in memory only)")
+	traceTTL := fs.Duration("trace-ttl", 7*24*time.Hour, "evict traces unused for this long (negative disables)")
+	traceMaxBytes := fs.Int64("trace-max-bytes", 1<<30, "trace store capacity in canonical bytes")
+	traceByteRate := fs.Float64("trace-byte-rate", 0, "per-tenant trace-upload bytes per second (0 = unlimited)")
+	traceByteBurst := fs.Float64("trace-byte-burst", 0, "per-tenant trace-upload burst bytes (0 = rate)")
+	advertise := fs.String("advertise", "", "this coordinator's own base URL, sent to backends so they can fetch trace digests")
 	peers := fs.String("peers", "", "comma-separated pcmd base URLs for coordinator mode (empty: sweeps run locally)")
 	sweepRetries := fs.Int("sweep-retries", 2, "per-shard re-dispatch budget for sweeps")
 	hedgeAfter := fs.Duration("hedge-after", 30*time.Second, "straggler-shard hedging delay (negative disables)")
@@ -144,6 +152,12 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		HealthInterval:   *healthInterval,
 		Tenants:          tenants,
 		SSEHeartbeat:     *sseHeartbeat,
+		TraceDir:         *traceDir,
+		TraceTTL:         *traceTTL,
+		TraceMaxBytes:    *traceMaxBytes,
+		TraceByteRate:    *traceByteRate,
+		TraceByteBurst:   *traceByteBurst,
+		AdvertiseURL:     *advertise,
 		Logger:           logger,
 		EnablePprof:      *enablePprof,
 	})

@@ -6,7 +6,14 @@
 // Usage:
 //
 //	tracegen -app gcc -events 100000 -lines 4096 [-cachesim] [-o trace.pcmt]
+//	         [-format auto|binary|ndjson]
 //	tracegen -list
+//
+// -format picks the on-disk encoding: binary is the PCMT container,
+// ndjson is one JSON record per line, and auto (the default) writes a
+// gzip stream for .gz paths and binary otherwise. All encodings decode
+// to the same events, so the pcmd trace store assigns them the same
+// content digest.
 package main
 
 import (
@@ -34,6 +41,7 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "generator seed")
 	useCache := fs.Bool("cachesim", false, "filter through the 16-core L1/L2 hierarchy")
 	out := fs.String("o", "", "output file (default stdout summary only)")
+	format := fs.String("format", "auto", "output encoding: auto (gzip stream for .gz paths, else binary), binary, or ndjson")
 	list := fs.Bool("list", false, "list available workload profiles")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,12 +94,26 @@ func run(args []string) error {
 		st.Events, st.DistinctLines, st.MaxAddr)
 
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return fmt.Errorf("create output: %w", err)
+		if err := writeTrace(*out, *format, evs); err != nil {
+			return err
 		}
-		defer f.Close()
-		if trace.IsGzipPath(*out) {
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+// writeTrace encodes the events per -format. Every encoding decodes back
+// through trace.Decode to the same events — and so to the same content
+// digest when uploaded to a pcmd trace store.
+func writeTrace(path, format string, evs []trace.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create output: %w", err)
+	}
+	defer f.Close()
+	switch format {
+	case "auto":
+		if trace.IsGzipPath(path) {
 			sw, err := trace.NewStreamWriter(f, true)
 			if err != nil {
 				return err
@@ -107,10 +129,19 @@ func run(args []string) error {
 		} else if err := trace.Write(f, evs); err != nil {
 			return err
 		}
-		if err := f.Close(); err != nil {
-			return fmt.Errorf("close output: %w", err)
+	case "binary":
+		if err := trace.Write(f, evs); err != nil {
+			return err
 		}
-		fmt.Printf("wrote %s\n", *out)
+	case "ndjson":
+		if err := trace.WriteNDJSON(f, evs); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -format %q (want auto, binary, or ndjson)", format)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close output: %w", err)
 	}
 	return nil
 }

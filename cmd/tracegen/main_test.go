@@ -1,11 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"pcmcomp/internal/trace"
+	"pcmcomp/internal/tracestore"
 )
 
 func TestListProfiles(t *testing.T) {
@@ -82,5 +84,72 @@ func TestGzipOutput(t *testing.T) {
 func TestUnknownApp(t *testing.T) {
 	if err := run([]string{"-app", "nope"}); err == nil {
 		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestUnknownFormat(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.pcmt")
+	if err := run([]string{"-app", "gcc", "-events", "10", "-o", out, "-format", "xml"}); err == nil {
+		t.Fatal("unknown -format accepted")
+	}
+}
+
+// TestFormatRoundTrip pins the cross-format dedup contract end to end:
+// the same generator stream written as binary and as NDJSON must decode
+// to identical events and land in a trace store under one digest.
+func TestFormatRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "t.pcmt")
+	nd := filepath.Join(dir, "t.ndjson")
+	for _, f := range []struct{ path, format string }{{bin, "binary"}, {nd, "ndjson"}} {
+		if err := run([]string{"-app", "milc", "-events", "400", "-lines", "128", "-seed", "7",
+			"-o", f.path, "-format", f.format}); err != nil {
+			t.Fatalf("%s: %v", f.format, err)
+		}
+	}
+
+	store, err := tracestore.Open(tracestore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metas []tracestore.Meta
+	for _, path := range []string{bin, nd} {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meta, _, err := store.Put(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		metas = append(metas, meta)
+	}
+	if metas[0].Digest != metas[1].Digest {
+		t.Fatalf("binary and ndjson encodings hashed differently: %s vs %s", metas[0].Digest, metas[1].Digest)
+	}
+	if n := len(store.List()); n != 1 {
+		t.Fatalf("store holds %d traces after cross-format upload, want 1", n)
+	}
+
+	evs, err := store.Events(metas[0].Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 400 {
+		t.Fatalf("stored trace has %d events, want 400", len(evs))
+	}
+	f, err := os.Open(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	want, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if evs[i] != want[i] {
+			t.Fatalf("event %d differs after store round-trip: %+v vs %+v", i, evs[i], want[i])
+		}
 	}
 }

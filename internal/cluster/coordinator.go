@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"pcmcomp/internal/obs"
@@ -270,11 +269,14 @@ type ShardEvent struct {
 	Err     string    `json:"error,omitempty"`
 }
 
-// SweepHooks are the optional per-sweep observers. Both callbacks must be
-// safe for concurrent invocation — shards complete in parallel.
+// SweepHooks are the optional per-sweep observers. OnEvent must be safe
+// for concurrent invocation — shards complete in parallel. OnProgress
+// calls are serialized by the coordinator, so the hook may write to a
+// shared sink without its own locking.
 type SweepHooks struct {
 	// OnProgress is invoked after every shard completion with the done and
-	// total shard counts.
+	// total shard counts; calls are serialized and done is strictly
+	// increasing.
 	OnProgress func(done, total int)
 	// OnEvent observes every scheduling decision (dispatch, retry, hedge,
 	// hedge cancel, completion) as it happens.
@@ -321,7 +323,11 @@ func (c *Coordinator) SweepWithHooks(ctx context.Context, req SweepRequest, hook
 
 	raw := make([]json.RawMessage, len(shards))
 	errs := make([]error, len(shards))
-	var done atomic.Int64
+	// Progress calls are serialized under a mutex: hooks may write to
+	// shared sinks (pcmctl prints to one stderr), and serializing also
+	// keeps the reported done counts strictly monotonic.
+	var progressMu sync.Mutex
+	done := 0
 	sem := make(chan struct{}, c.opts.Concurrency)
 	var wg sync.WaitGroup
 	for i := range shards {
@@ -332,7 +338,10 @@ func (c *Coordinator) SweepWithHooks(ctx context.Context, req SweepRequest, hook
 			defer func() { <-sem }()
 			raw[i], errs[i] = c.runShard(ctx, shards[i], &hooks)
 			if hooks.OnProgress != nil {
-				hooks.OnProgress(int(done.Add(1)), len(shards))
+				progressMu.Lock()
+				done++
+				hooks.OnProgress(done, len(shards))
+				progressMu.Unlock()
 			}
 		}(i)
 	}

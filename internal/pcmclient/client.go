@@ -65,6 +65,9 @@ type Job struct {
 	// TraceID is the trace the job belongs to (propagated from the
 	// submitter's X-Pcmd-Trace-Id, or opened by the server).
 	TraceID string `json:"trace_id,omitempty"`
+	// TraceDigest is the data trace a trace-driven job replays
+	// ("sha256:..."), distinct from the observability TraceID.
+	TraceDigest string `json:"trace_digest,omitempty"`
 	// Spans are the server-side execution spans reported back with the
 	// terminal job document, so a caller can graft the remote work into
 	// its own trace (obs.RecordAll).
@@ -132,6 +135,10 @@ type Client struct {
 	// client acts as that tenant against a multi-tenant pcmd. Empty means
 	// the anonymous tenant.
 	APIKey string
+	// TraceSource, when set, is sent as X-Trace-Source on every request: a
+	// coordinator dispatching sweep shards advertises its own base URL here
+	// so the backend can fetch trace digests it has never seen.
+	TraceSource string
 	// Logger, when set, narrates the client's retry machinery — each
 	// backoff sleep with its attempt, delay, and cause — plus submissions
 	// and cancellations. Nil stays silent (the default): the retries that
@@ -245,6 +252,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		}
 		if c.APIKey != "" {
 			req.Header.Set("X-Api-Key", c.APIKey)
+		}
+		if c.TraceSource != "" {
+			req.Header.Set("X-Trace-Source", c.TraceSource)
 		}
 		// Propagate the caller's trace so the server's spans join it.
 		obs.Inject(ctx, req)
@@ -452,6 +462,8 @@ type JobSummary struct {
 	Finished *time.Time `json:"finished,omitempty"`
 	Error    string     `json:"error,omitempty"`
 	TraceID  string     `json:"trace_id,omitempty"`
+	// TraceDigest is the data trace a trace-driven job replays.
+	TraceDigest string `json:"trace_digest,omitempty"`
 }
 
 // JobList is one page of the job listing.
@@ -573,6 +585,106 @@ func (c *Client) Trace(ctx context.Context, id string) ([]*obs.SpanNode, error) 
 		return nil, err
 	}
 	return out.Tree, nil
+}
+
+// TraceMeta describes one trace stored by the server (the tracestore's
+// metadata document).
+type TraceMeta struct {
+	// Digest is the content address, "sha256:<hex>" over the trace's
+	// canonical binary encoding.
+	Digest string `json:"digest"`
+	// Bytes is the canonical encoding's size.
+	Bytes int64 `json:"bytes"`
+	// Events, Lines, and MaxAddr summarize the trace footprint.
+	Events  int `json:"events"`
+	Lines   int `json:"lines"`
+	MaxAddr int `json:"max_addr"`
+	// Created is when the server first saw the digest.
+	Created time.Time `json:"created"`
+}
+
+// doRaw issues one non-JSON-body request with the same retry policy as do.
+// The body bytes are resent verbatim on each attempt.
+func (c *Client) doRaw(ctx context.Context, method, path string, body []byte, out any) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/octet-stream")
+		}
+		if c.APIKey != "" {
+			req.Header.Set("X-Api-Key", c.APIKey)
+		}
+		obs.Inject(ctx, req)
+		retry, err := c.attempt(req, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retry || attempt >= c.MaxRetries {
+			return lastErr
+		}
+		delay := c.backoff(attempt)
+		if hint := lastRetryAfter(err); hint > delay {
+			delay = hint
+		}
+		if c.MaxBackoff > 0 && delay > c.MaxBackoff {
+			delay = c.MaxBackoff
+		}
+		c.logger().Info("pcmclient: retrying",
+			"method", method, "path", path, "attempt", attempt+1,
+			"delay", delay.Round(time.Millisecond).String(), "err", lastErr.Error())
+		if err := c.doSleep(ctx, delay); err != nil {
+			return err
+		}
+	}
+}
+
+// UploadTrace posts trace bytes — any encoding the server understands:
+// tracegen binary, gzip, or NDJSON — to POST /v1/traces and returns the
+// stored trace's metadata plus whether the bytes were newly stored (false
+// = the digest was already present; the upload deduplicated to a no-op).
+func (c *Client) UploadTrace(ctx context.Context, data []byte) (*TraceMeta, bool, error) {
+	var out struct {
+		Trace  TraceMeta `json:"trace"`
+		Stored bool      `json:"stored"`
+	}
+	if err := c.doRaw(ctx, http.MethodPost, "/v1/traces", data, &out); err != nil {
+		return nil, false, err
+	}
+	return &out.Trace, out.Stored, nil
+}
+
+// ListTraces lists every trace the server stores, newest first.
+func (c *Client) ListTraces(ctx context.Context) ([]TraceMeta, error) {
+	var out struct {
+		Traces []TraceMeta `json:"traces"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/traces", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Traces, nil
+}
+
+// StatTrace fetches one stored trace's metadata by digest.
+func (c *Client) StatTrace(ctx context.Context, digest string) (*TraceMeta, error) {
+	var out TraceMeta
+	if err := c.do(ctx, http.MethodGet, "/v1/traces/"+digest, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeleteTrace removes a stored trace by digest.
+func (c *Client) DeleteTrace(ctx context.Context, digest string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/traces/"+digest, nil, nil)
 }
 
 // Run submits a job and waits for its result.

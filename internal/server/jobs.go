@@ -19,6 +19,7 @@ import (
 	"pcmcomp/internal/compress"
 	"pcmcomp/internal/config"
 	"pcmcomp/internal/core"
+	"pcmcomp/internal/ecc"
 	"pcmcomp/internal/experiments"
 	"pcmcomp/internal/lifetime"
 	"pcmcomp/internal/montecarlo"
@@ -26,6 +27,8 @@ import (
 	"pcmcomp/internal/scheme"
 	"pcmcomp/internal/stats"
 	"pcmcomp/internal/tenant"
+	"pcmcomp/internal/trace"
+	"pcmcomp/internal/tracestore"
 	"pcmcomp/internal/workload"
 )
 
@@ -95,6 +98,22 @@ func schemeLabelsOf(p params) []string {
 		return s.schemeLabels()
 	}
 	return nil
+}
+
+// traced is the optional params behavior of trace-driven kinds: it names
+// the data-trace digest the job replays (distinct from the observability
+// TraceID). The digest labels the job document and its flight-recorder
+// timeline.
+type traced interface {
+	traceDigest() string
+}
+
+// traceDigestOf extracts a job's data-trace digest, "" for synthetic jobs.
+func traceDigestOf(p params) string {
+	if t, ok := p.(traced); ok {
+		return t.traceDigest()
+	}
+	return ""
 }
 
 // jobProgress is a job's live progress meter, written atomically by the
@@ -228,6 +247,10 @@ type Job struct {
 	// TraceID is the trace this job belongs to: adopted from the inbound
 	// propagation headers, or minted at submission.
 	TraceID string `json:"trace_id,omitempty"`
+	// TraceDigest is the data trace the job replays ("sha256:..."), set for
+	// trace-driven jobs so pollers and list views can correlate a job with
+	// its uploaded workload without re-reading the params.
+	TraceDigest string `json:"trace_digest,omitempty"`
 	// Spans are the job's execution spans, attached atomically with the
 	// terminal state so a remote caller polling the document can graft
 	// them into its own trace (cluster.HTTPBackend does).
@@ -252,6 +275,11 @@ type Job struct {
 	// events is the job's flight-recorder timeline. The pointer is set at
 	// add/restore and never replaced, so reads need no store lock.
 	events *obs.Timeline
+	// traceSource is the coordinator base URL the submitter advertised
+	// (X-Trace-Source): where to fetch the job's data trace when the local
+	// store does not hold its digest. Set before the job is submitted to
+	// the pool, read by execute.
+	traceSource string
 }
 
 // errJobCanceled is the cancellation cause a DELETE plants in a running
@@ -412,9 +440,22 @@ func (s *store) add(kind Kind, p params, key string, tn *tenant.Tenant, now time
 		// Specs contain commas, so the timeline field joins on ";".
 		fields = append(fields, "schemes", strings.Join(labels, ";"))
 	}
+	if digest := traceDigestOf(p); digest != "" {
+		j.TraceDigest = digest
+		fields = append(fields, "trace", digest)
+	}
 	j.events.AddAt(now, "queued", "", fields...)
 	s.jobs[j.ID] = j
 	return j
+}
+
+// setTraceSource records the coordinator URL a trace-driven job may fetch
+// its data trace from. Taken under the store lock because concurrent GETs
+// may already be copying the job document.
+func (s *store) setTraceSource(j *Job, source string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.traceSource = source
 }
 
 // adoptTrace joins a just-added job to the submitter's trace (the inbound
@@ -614,8 +655,16 @@ func (s *store) cancel(id string, now time.Time) (Job, cancelOutcome) {
 // cmd/lifetime performs, per requested system or scheme spec, on a
 // generated trace.
 type LifetimeParams struct {
-	// App is the workload profile name (required).
-	App string `json:"app"`
+	// App is the workload profile name. Required for synthetic jobs; with
+	// Trace set it becomes optional and only calibrates the wall-clock
+	// projection (its WPKI feeds the time model).
+	App string `json:"app,omitempty"`
+	// Trace, when set, is the digest ("sha256:...") of an uploaded trace
+	// (POST /v1/traces): the run replays that trace instead of generating a
+	// synthetic one. Without App the WPKI falls back to 1.0 — relative
+	// lifetimes stay exact, but provide app for a calibrated wall-clock
+	// projection.
+	Trace string `json:"trace,omitempty"`
 	// Scale is the substrate preset name (default "quick").
 	Scale string `json:"scale"`
 	// Systems lists the paper systems to run (default all four, baseline
@@ -634,11 +683,19 @@ type LifetimeParams struct {
 }
 
 func (p *LifetimeParams) normalize() error {
-	if p.App == "" {
-		return fmt.Errorf("app is required")
+	if p.Trace != "" {
+		digest, err := tracestore.ParseDigest(p.Trace)
+		if err != nil {
+			return err
+		}
+		p.Trace = digest
+	} else if p.App == "" {
+		return fmt.Errorf("app is required (or provide a trace digest)")
 	}
-	if _, err := workload.ByName(p.App); err != nil {
-		return err
+	if p.App != "" {
+		if _, err := workload.ByName(p.App); err != nil {
+			return err
+		}
 	}
 	if p.Scale == "" {
 		p.Scale = config.ScaleQuick.Name
@@ -682,6 +739,9 @@ func (p *LifetimeParams) normalize() error {
 	return nil
 }
 
+// traceDigest implements traced.
+func (p *LifetimeParams) traceDigest() string { return p.Trace }
+
 // schemeLabels returns the canonical scheme specs this job runs — the
 // explicit Schemes axis, or the requested presets (every preset name is a
 // valid spec). Feeds the scheme-labeled metrics and flight-recorder events.
@@ -720,7 +780,8 @@ type LifetimeSystemResult struct {
 
 // LifetimeResult is the result payload of a lifetime job.
 type LifetimeResult struct {
-	App     string                 `json:"app"`
+	App     string                 `json:"app,omitempty"`
+	Trace   string                 `json:"trace,omitempty"`
 	Scale   string                 `json:"scale"`
 	Seed    uint64                 `json:"seed"`
 	Systems []LifetimeSystemResult `json:"systems"`
@@ -731,16 +792,40 @@ func (p *LifetimeParams) run(ctx context.Context, pr *jobProgress) (any, error) 
 	if err != nil {
 		return nil, err
 	}
-	prof, err := workload.ByName(p.App)
-	if err != nil {
-		return nil, err
+	// The time model's WPKI comes from the app profile; a trace-driven run
+	// without one projects at WPKI 1.0, which keeps relative lifetimes
+	// exact and leaves the wall-clock column uncalibrated.
+	wpki := 1.0
+	if p.App != "" {
+		prof, err := workload.ByName(p.App)
+		if err != nil {
+			return nil, err
+		}
+		wpki = prof.WPKI
 	}
-	gen, err := workload.NewGenerator(prof, scale.TraceLines, p.Seed)
-	if err != nil {
-		return nil, err
+	var events []trace.Event
+	if p.Trace != "" {
+		raw, err := tracestore.ResolveFrom(ctx, p.Trace)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := workload.NewReplay(raw)
+		if err != nil {
+			return nil, err
+		}
+		events = rep.Events()
+	} else {
+		prof, err := workload.ByName(p.App)
+		if err != nil {
+			return nil, err
+		}
+		gen, err := workload.NewGenerator(prof, scale.TraceLines, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		events = gen.GenerateTrace(scale.TraceEvents)
 	}
-	events := gen.GenerateTrace(scale.TraceEvents)
-	tm := lifetime.DefaultTimeModel(prof.WPKI, scale.EnduranceScale(), scale.CapacityScale())
+	tm := lifetime.DefaultTimeModel(wpki, scale.EnduranceScale(), scale.CapacityScale())
 
 	// Progress unit: demand writes across all requested systems. The total
 	// is only knowable when a write cap bounds each run.
@@ -750,7 +835,7 @@ func (p *LifetimeParams) run(ctx context.Context, pr *jobProgress) (any, error) 
 		progressTotal = p.MaxDemandWrites * uint64(len(specs))
 	}
 
-	out := LifetimeResult{App: p.App, Scale: p.Scale, Seed: p.Seed}
+	out := LifetimeResult{App: p.App, Trace: p.Trace, Scale: p.Scale, Seed: p.Seed}
 	var reference uint64
 	var writesDone uint64
 	for i, spec := range specs {
@@ -815,7 +900,14 @@ type FailureProbabilityParams struct {
 	// Scheme is ecp, safer, or aegis (default "ecp").
 	Scheme string `json:"scheme"`
 	// Window is the compressed-data window size in bytes (default 32).
-	Window int `json:"window"`
+	// Mutually exclusive with Trace, which derives the window distribution
+	// from real data instead of a single fixed size.
+	Window int `json:"window,omitempty"`
+	// Trace, when set, is the digest ("sha256:...") of an uploaded trace:
+	// instead of one fixed window, the curve is the mixture of per-window
+	// curves weighted by how often each compressed size occurs in the
+	// trace — the paper's Fig 9 evaluated against a real footprint.
+	Trace string `json:"trace,omitempty"`
 	// MaxErrors is the largest injected fault count (default 64).
 	MaxErrors int `json:"max_errors"`
 	// Trials is the number of injections per point (default 10000; the
@@ -832,11 +924,22 @@ func (p *FailureProbabilityParams) normalize() error {
 	if _, err := experiments.Fig9Scheme(p.Scheme); err != nil {
 		return err
 	}
-	if p.Window == 0 {
-		p.Window = 32
-	}
-	if p.Window < 1 || p.Window > block.Size {
-		return fmt.Errorf("window %dB out of [1,%d]", p.Window, block.Size)
+	if p.Trace != "" {
+		if p.Window != 0 {
+			return fmt.Errorf("window and trace are mutually exclusive (the trace supplies the window distribution)")
+		}
+		digest, err := tracestore.ParseDigest(p.Trace)
+		if err != nil {
+			return err
+		}
+		p.Trace = digest
+	} else {
+		if p.Window == 0 {
+			p.Window = 32
+		}
+		if p.Window < 1 || p.Window > block.Size {
+			return fmt.Errorf("window %dB out of [1,%d]", p.Window, block.Size)
+		}
 	}
 	if p.MaxErrors == 0 {
 		p.MaxErrors = 64
@@ -856,11 +959,19 @@ func (p *FailureProbabilityParams) normalize() error {
 	return nil
 }
 
+// traceDigest implements traced.
+func (p *FailureProbabilityParams) traceDigest() string { return p.Trace }
+
 // FailureProbabilityResult is the result payload of a failure-probability
-// job: Curve[i] is P(line unusable) at i+1 injected errors.
+// job: Curve[i] is P(line unusable) at i+1 injected errors. For a
+// trace-driven job, Window is 0 and the curve is the size-frequency-
+// weighted mixture over the trace's compressed-size histogram; WindowMean
+// reports the mixture's mean window.
 type FailureProbabilityResult struct {
 	Scheme          string    `json:"scheme"`
 	Window          int       `json:"window"`
+	Trace           string    `json:"trace,omitempty"`
+	WindowMean      float64   `json:"window_mean,omitempty"`
 	Trials          int       `json:"trials"`
 	Curve           []float64 `json:"curve"`
 	TolerableAtHalf int       `json:"tolerable_at_half"`
@@ -870,6 +981,9 @@ func (p *FailureProbabilityParams) run(ctx context.Context, pr *jobProgress) (an
 	scheme, err := experiments.Fig9Scheme(p.Scheme)
 	if err != nil {
 		return nil, err
+	}
+	if p.Trace != "" {
+		return p.runTraced(ctx, scheme, pr)
 	}
 	// Progress unit: Monte-Carlo trials (curve points x trials per point).
 	// One Runner per job: the whole curve shares one heap-resident scratch
@@ -884,6 +998,63 @@ func (p *FailureProbabilityParams) run(ctx context.Context, pr *jobProgress) (an
 	}
 	return FailureProbabilityResult{
 		Scheme: scheme.Name(), Window: p.Window, Trials: p.Trials,
+		Curve: curve, TolerableAtHalf: montecarlo.TolerableAt(curve, 0.5),
+	}, nil
+}
+
+// runTraced computes the trace-weighted Fig 9 curve: histogram the BEST
+// compressed size of every event in the trace, run one Monte-Carlo curve
+// per occupied size, and mix the curves by occurrence frequency. Window
+// sizes ascend, so the work order — and with one fresh seed per window,
+// the result — is deterministic for a given (trace, seed).
+func (p *FailureProbabilityParams) runTraced(ctx context.Context, scheme ecc.Scheme, pr *jobProgress) (any, error) {
+	events, err := tracestore.ResolveFrom(ctx, p.Trace)
+	if err != nil {
+		return nil, err
+	}
+	if len(events) == 0 {
+		return nil, trace.ErrEmptyTrace
+	}
+	var counts [block.Size + 1]int
+	for i := range events {
+		counts[compress.Compress(&events[i].Data).Size()]++
+	}
+	windows := 0
+	var sizeSum float64
+	for w := 1; w <= block.Size; w++ {
+		if counts[w] > 0 {
+			windows++
+			sizeSum += float64(w) * float64(counts[w])
+		}
+	}
+
+	// Progress unit: Monte-Carlo trials across every occupied window size.
+	progressTotal := uint64(windows) * uint64(p.MaxErrors) * uint64(p.Trials)
+	var trialsDone uint64
+	runner := montecarlo.NewRunner()
+	curve := make([]float64, p.MaxErrors)
+	for w := 1; w <= block.Size; w++ {
+		if counts[w] == 0 {
+			continue
+		}
+		base := trialsDone
+		wc, err := runner.AppendCurve(ctx,
+			make([]float64, 0, p.MaxErrors), scheme, w, p.MaxErrors, p.Trials, p.Seed,
+			func(done, total int) {
+				pr.set(base+uint64(done)*uint64(p.Trials), progressTotal)
+			})
+		if err != nil {
+			return nil, err
+		}
+		trialsDone += uint64(p.MaxErrors) * uint64(p.Trials)
+		frac := float64(counts[w]) / float64(len(events))
+		for k := range wc {
+			curve[k] += frac * wc[k]
+		}
+	}
+	return FailureProbabilityResult{
+		Scheme: scheme.Name(), Trace: p.Trace,
+		WindowMean: sizeSum / float64(len(events)), Trials: p.Trials,
 		Curve: curve, TolerableAtHalf: montecarlo.TolerableAt(curve, 0.5),
 	}, nil
 }

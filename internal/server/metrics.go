@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pcmcomp/internal/cluster"
+	"pcmcomp/internal/tracestore"
 	"pcmcomp/internal/version"
 )
 
@@ -371,6 +372,8 @@ type runtimeStats struct {
 	uptime     time.Duration
 	// tenants carries the per-tenant gauge rows in render order.
 	tenants []tenantQuota
+	// traces is the trace store's counter set (pcmd_traces_*).
+	traces tracestore.Stats
 }
 
 // WriteTo renders the Prometheus text format. Kinds are emitted in the
@@ -419,6 +422,10 @@ func (m *metrics) WriteTo(w io.Writer, rt runtimeStats) {
 	fmt.Fprintf(w, "# TYPE pcmd_cache_hits_total counter\npcmd_cache_hits_total %d\n", m.cacheHits)
 	fmt.Fprintf(w, "# TYPE pcmd_cache_misses_total counter\npcmd_cache_misses_total %d\n", m.cacheMisses)
 	fmt.Fprintf(w, "# TYPE pcmd_cache_entries gauge\npcmd_cache_entries %d\n", cacheLen)
+	fmt.Fprintf(w, "# TYPE pcmd_traces_stored gauge\npcmd_traces_stored %d\n", rt.traces.Stored)
+	fmt.Fprintf(w, "# TYPE pcmd_traces_bytes gauge\npcmd_traces_bytes %d\n", rt.traces.StoredBytes)
+	fmt.Fprintf(w, "# TYPE pcmd_traces_evictions_total counter\npcmd_traces_evictions_total %d\n", rt.traces.Evictions)
+	fmt.Fprintf(w, "# TYPE pcmd_traces_fetches_total counter\npcmd_traces_fetches_total %d\n", rt.traces.Fetches)
 	fmt.Fprintf(w, "# TYPE pcmd_job_seconds histogram\n")
 	for _, k := range Kinds {
 		h := m.latency[k]

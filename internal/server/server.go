@@ -16,6 +16,10 @@
 //	GET    /v1/sweeps/{id}               poll a sweep's shard progress and merged result
 //	GET    /v1/sweeps                    list sweep summaries
 //	DELETE /v1/sweeps/{id}               cancel a running sweep
+//	POST   /v1/traces                    upload a write-back trace (content-addressed)
+//	GET    /v1/traces                    list stored traces
+//	GET    /v1/traces/{digest}           trace metadata (?download=1 for the bytes)
+//	DELETE /v1/traces/{digest}           delete a stored trace
 //	GET    /v1/backends                  the coordinator's fleet view (health, load)
 //	GET    /v1/workloads                 list the Table III workload models
 //	GET    /v1/schemes                   list the hard-error schemes
@@ -51,6 +55,7 @@ import (
 	"pcmcomp/internal/obs"
 	"pcmcomp/internal/scheme"
 	"pcmcomp/internal/tenant"
+	"pcmcomp/internal/tracestore"
 	"pcmcomp/internal/workload"
 )
 
@@ -116,6 +121,24 @@ type Config struct {
 	// responses, keeping proxies from reaping quiet connections (default
 	// 15s; negative disables).
 	SSEHeartbeat time.Duration
+	// TraceDir is the trace store's spool directory; empty keeps uploaded
+	// traces in memory only (they vanish on restart).
+	TraceDir string
+	// TraceMaxBytes bounds the trace store's total canonical bytes
+	// (default 1 GiB); TraceTTL evicts traces unused for that long
+	// (default 7 days, negative disables).
+	TraceMaxBytes int64
+	TraceTTL      time.Duration
+	// TraceByteRate/TraceByteBurst, when rate > 0, impose a per-tenant
+	// upload byte quota (bytes/sec refill, burst bucket depth) on every
+	// registry tenant, anonymous included.
+	TraceByteRate  float64
+	TraceByteBurst float64
+	// AdvertiseURL is this coordinator's own base URL as backends can
+	// reach it (e.g. "http://coord:8080"). Sweep shards dispatched to HTTP
+	// backends carry it as X-Trace-Source, so a backend missing a trace
+	// digest knows where to fetch it from.
+	AdvertiseURL string
 }
 
 func (c Config) withDefaults() Config {
@@ -187,6 +210,7 @@ type Server struct {
 	ring    *obs.Ring    // completed-trace ring behind /debug/traces
 	started time.Time    // process start, for the uptime gauge
 	tenants *tenant.Registry
+	traces  *tracestore.Store // content-addressed uploaded traces
 
 	// Distributed-sweep coordinator (see internal/cluster): remote peers
 	// in coordinator mode, an in-process loopback backend otherwise.
@@ -220,6 +244,23 @@ func New(cfg Config) *Server {
 	}
 	s.sweeps = newSweepStore()
 	s.restoreErr = s.loadSnapshot()
+	traces, err := tracestore.Open(tracestore.Options{
+		Dir: cfg.TraceDir, MaxBytes: cfg.TraceMaxBytes, TTL: cfg.TraceTTL,
+	})
+	if err != nil {
+		// A broken spool directory must not keep the service down: fall
+		// back to memory-only and surface the problem via RestoreError.
+		traces, _ = tracestore.Open(tracestore.Options{
+			MaxBytes: cfg.TraceMaxBytes, TTL: cfg.TraceTTL,
+		})
+		s.restoreErr = errors.Join(s.restoreErr, err)
+	}
+	s.traces = traces
+	if cfg.TraceByteRate > 0 {
+		for _, tn := range s.tenants.Tenants() {
+			tn.SetByteQuota(cfg.TraceByteRate, cfg.TraceByteBurst)
+		}
+	}
 	// Workers and sweep goroutines inherit the ring and logger through
 	// jobCtx, so spans they start record into /debug/traces and their logs
 	// carry through even off the request path.
@@ -243,6 +284,10 @@ func New(cfg Config) *Server {
 	s.route(mux, "GET /v1/sweeps/{id}", s.handleGetSweep)
 	s.route(mux, "GET /v1/sweeps/{id}/events", s.handleSweepEvents)
 	s.route(mux, "DELETE /v1/sweeps/{id}", s.handleCancelSweep)
+	s.route(mux, "POST /v1/traces", s.handleUploadTrace)
+	s.route(mux, "GET /v1/traces", s.handleListDataTraces)
+	s.route(mux, "GET /v1/traces/{digest}", s.handleGetDataTrace)
+	s.route(mux, "DELETE /v1/traces/{digest}", s.handleDeleteDataTrace)
 	s.route(mux, "GET /v1/backends", s.handleBackends)
 	s.route(mux, "GET /v1/workloads", s.handleWorkloads)
 	s.route(mux, "GET /v1/schemes", s.handleSchemes)
@@ -273,12 +318,18 @@ func (s *Server) initCoordinator() {
 	hedge := s.cfg.SweepHedgeAfter
 	if len(s.cfg.Peers) > 0 {
 		for _, peer := range s.cfg.Peers {
-			backends = append(backends, cluster.NewHTTPBackend(peer, 1))
+			b := cluster.NewHTTPBackend(peer, 1)
+			// Shards dispatched over HTTP advertise this coordinator as the
+			// place to fetch trace digests the backend has never seen.
+			b.Client.TraceSource = s.cfg.AdvertiseURL
+			backends = append(backends, b)
 		}
 	} else {
 		backends = append(backends, cluster.NewLoopback("local", 1,
 			func(ctx context.Context, kind string, params json.RawMessage) (json.RawMessage, error) {
-				return ExecuteLocal(ctx, Kind(kind), params)
+				// The loopback runs in-process: trace digests resolve straight
+				// from this server's own store.
+				return ExecuteLocal(tracestore.WithResolver(ctx, s.traces), Kind(kind), params)
 			}))
 		hedge = 0 // one backend: nothing to hedge onto
 	}
@@ -329,6 +380,7 @@ func (s *Server) housekeeping() {
 			return
 		case now := <-ticker.C:
 			s.store.sweep(now)
+			s.traces.Sweep(now)
 			if s.cfg.SnapshotPath != "" && now.Sub(last) >= s.cfg.SnapshotInterval {
 				last = now
 				_ = s.SaveSnapshot() // a failed periodic write retries next tick
@@ -425,6 +477,9 @@ func (s *Server) execute(j *Job) {
 	span.SetAttr("kind", string(j.Kind))
 	jobLog := s.log.With("job_id", j.ID, "kind", string(j.Kind), "trace_id", j.TraceID)
 	ctx = obs.WithLogger(ctx, jobLog)
+	// Trace-driven jobs resolve their digest through the local store,
+	// falling back to a fetch from the submitter's advertised coordinator.
+	ctx = tracestore.WithResolver(ctx, s.resolverFor(j.traceSource))
 	endSpan := func(err error) []obs.SpanData {
 		if span == nil {
 			return nil
@@ -483,10 +538,9 @@ func (s *Server) jobPanicked(j *Job, cause any) {
 		"job_id", j.ID, "kind", string(j.Kind), "panic", fmt.Sprint(cause))
 }
 
-// throttle refuses a rate-limited submission with 429 and a Retry-After
-// hint derived from the tenant's bucket (whole seconds, at least 1).
-func (s *Server) throttle(w http.ResponseWriter, tn *tenant.Tenant, hint time.Duration) {
-	s.metrics.tenantThrottled(tn.Name)
+// retrySeconds rounds a bucket's refill hint up to whole Retry-After
+// seconds, at least 1.
+func retrySeconds(hint time.Duration) int {
 	secs := int(hint / time.Second)
 	if hint%time.Second != 0 {
 		secs++
@@ -494,6 +548,14 @@ func (s *Server) throttle(w http.ResponseWriter, tn *tenant.Tenant, hint time.Du
 	if secs < 1 {
 		secs = 1
 	}
+	return secs
+}
+
+// throttle refuses a rate-limited submission with 429 and a Retry-After
+// hint derived from the tenant's bucket (whole seconds, at least 1).
+func (s *Server) throttle(w http.ResponseWriter, tn *tenant.Tenant, hint time.Duration) {
+	s.metrics.tenantThrottled(tn.Name)
+	secs := retrySeconds(hint)
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	writeError(w, http.StatusTooManyRequests,
 		fmt.Sprintf("tenant %q submission quota exhausted, retry in %ds", tn.Name, secs))
@@ -533,6 +595,11 @@ func (s *Server) submitHandler(kind Kind) http.HandlerFunc {
 		}
 		s.metrics.tenantSubmitted(tn.Name)
 		j := s.store.add(kind, p, key, tn, now)
+		if src := r.Header.Get("X-Trace-Source"); src != "" && j.TraceDigest != "" {
+			// A coordinator dispatched this shard: remember where to fetch
+			// the trace if the local store does not hold it.
+			s.store.setTraceSource(j, src)
+		}
 		if rp := obs.RemoteParent(r.Context()); rp.TraceID != "" {
 			// The submitter propagated a trace (a coordinator's dispatch
 			// span); this job's execution joins it instead of rooting its own.
@@ -609,6 +676,8 @@ type jobSummary struct {
 	Finished *time.Time `json:"finished,omitempty"`
 	Error    string     `json:"error,omitempty"`
 	TraceID  string     `json:"trace_id,omitempty"`
+	// TraceDigest is the data trace a trace-driven job replays.
+	TraceDigest string `json:"trace_digest,omitempty"`
 }
 
 // Listing pagination bounds.
@@ -677,7 +746,7 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 		out = append(out, jobSummary{
 			ID: j.ID, Kind: j.Kind, State: j.State, CacheHit: j.CacheHit,
 			Created: j.Created, Finished: j.Finished, Error: j.Error,
-			TraceID: j.TraceID,
+			TraceID: j.TraceID, TraceDigest: j.TraceDigest,
 		})
 	}
 	resp := map[string]any{"jobs": out, "total": total, "offset": offset}
@@ -773,6 +842,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		goroutines: runtime.NumGoroutine(),
 		uptime:     time.Since(s.started),
 		tenants:    quotas,
+		traces:     s.traces.Stats(),
 	})
 	writeClusterMetrics(w, s.coord.Metrics(), s.coord.Backends())
 }

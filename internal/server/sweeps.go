@@ -88,6 +88,9 @@ func (s *sweepStore) add(req cluster.SweepRequest, cancel context.CancelCauseFun
 		// Specs contain commas, so the timeline field joins on ";".
 		fields = append(fields, "schemes", strings.Join(req.Schemes, ";"))
 	}
+	if digest, ok := req.Params["trace"].(string); ok && digest != "" {
+		fields = append(fields, "trace", digest)
+	}
 	sw.events.AddAt(now, "created", "", fields...)
 	s.sweeps[sw.doc.ID] = sw
 	s.order = append(s.order, sw.doc.ID)

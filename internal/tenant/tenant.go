@@ -41,6 +41,10 @@ type Tenant struct {
 	Weight int
 	// bucket is the submission quota; nil means unlimited.
 	bucket *Bucket
+	// byteBucket is the trace-upload byte quota; nil means unlimited.
+	// Separate from the submission bucket because the two protect
+	// different resources: request admission vs. trace-store ingress.
+	byteBucket *Bucket
 }
 
 // NewTenant builds a tenant. rate <= 0 disables the quota; burst <= 0
@@ -65,6 +69,32 @@ func NewTenant(name, key string, rate, burst float64, weight int) *Tenant {
 // Limited reports whether the tenant has a submission quota at all.
 func (t *Tenant) Limited() bool { return t.bucket != nil }
 
+// SetByteQuota installs a trace-upload byte quota: rate bytes per second
+// refill with a burst-byte bucket depth. rate <= 0 removes the quota;
+// burst <= 0 defaults to rate. Call during configuration, before the
+// tenant serves requests — the bucket swap itself is not synchronized.
+func (t *Tenant) SetByteQuota(rate, burst float64) {
+	if rate <= 0 {
+		t.byteBucket = nil
+		return
+	}
+	if burst <= 0 {
+		burst = rate
+	}
+	t.byteBucket = NewBucket(rate, burst)
+}
+
+// TakeBytes attempts to charge n uploaded bytes against the byte quota at
+// time now. It reports whether the upload is admitted; when refused, the
+// returned duration is how long until n bytes of budget will be available
+// (the Retry-After hint). A tenant without a byte quota always admits.
+func (t *Tenant) TakeBytes(now time.Time, n float64) (time.Duration, bool) {
+	if t.byteBucket == nil {
+		return 0, true
+	}
+	return t.byteBucket.Take(now, n)
+}
+
 // Take attempts to spend n quota tokens at time now. It reports whether
 // the submission is admitted; when refused, the returned duration is how
 // long until n tokens will be available (the Retry-After hint). An
@@ -84,6 +114,16 @@ func (t *Tenant) Quota() (rate, burst float64, limited bool) {
 		return 0, 0, false
 	}
 	return t.bucket.rate, t.bucket.burst, true
+}
+
+// ByteQuota returns the trace-upload byte quota's rate and burst, and
+// whether one exists — an upload larger than the burst could never be
+// admitted, so the handler refuses it outright instead of 429-looping.
+func (t *Tenant) ByteQuota() (rate, burst float64, limited bool) {
+	if t.byteBucket == nil {
+		return 0, 0, false
+	}
+	return t.byteBucket.rate, t.byteBucket.burst, true
 }
 
 // TokenLevel returns the current bucket level for the quota gauge, and

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"pcmcomp/internal/block"
+)
+
+// NDJSON codec: the line-oriented interchange format for traces. Each line
+// is one event,
+//
+//	{"addr":123,"data":"<base64 of the 64-byte payload>"}
+//
+// newline-delimited, so traces can be produced by anything that can emit
+// JSON (a gem5 hook, a one-off script) and streamed without holding the
+// whole trace. CRLF line endings are accepted; blank lines are skipped.
+
+// Typed decode errors. Malformed input must never panic: uploads are
+// untrusted bytes from the front door.
+var (
+	// ErrEmptyTrace reports an input with zero events (empty file or only
+	// blank lines).
+	ErrEmptyTrace = errors.New("trace: empty trace (no events)")
+	// ErrTruncated reports an input that ends mid-record: a final line with
+	// no terminating newline that does not parse as a complete event.
+	ErrTruncated = errors.New("trace: truncated trace (incomplete final record)")
+	// ErrRecordTooLarge reports a single NDJSON line longer than
+	// MaxNDJSONRecord bytes — a well-formed event line is ~110 bytes, so an
+	// oversized line means the input is not an event-per-line trace.
+	ErrRecordTooLarge = errors.New("trace: NDJSON record too large")
+)
+
+// MaxNDJSONRecord bounds one NDJSON line. A well-formed record is about
+// 110 bytes (base64 of 64 payload bytes plus framing); the bound leaves
+// room for whitespace and extra fields without letting a single line
+// buffer unbounded input.
+const MaxNDJSONRecord = 4096
+
+// ndjsonEvent is the wire form of one event. Addr is a pointer so a
+// missing field is distinguishable from address zero.
+type ndjsonEvent struct {
+	Addr *int   `json:"addr"`
+	Data string `json:"data"`
+}
+
+// WriteNDJSON encodes events to w, one JSON object per line.
+func WriteNDJSON(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for i := range events {
+		if events[i].Addr < 0 {
+			return fmt.Errorf("trace: event %d has negative address %d", i, events[i].Addr)
+		}
+		rec := ndjsonEvent{Addr: &events[i].Addr, Data: base64.StdEncoding.EncodeToString(events[i].Data[:])}
+		buf, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("trace: encode event %d: %w", i, err)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("trace: write event %d: %w", i, err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("trace: write event %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadNDJSON decodes an NDJSON trace from r. It returns ErrEmptyTrace,
+// ErrTruncated, or ErrRecordTooLarge (wrapped with position detail) for
+// the corresponding malformed inputs, and never panics.
+func ReadNDJSON(r io.Reader) ([]Event, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	var events []Event
+	lineNo := 0
+	for {
+		lineNo++
+		line, err := readBoundedLine(br)
+		if err == errLineTooLong {
+			return nil, fmt.Errorf("%w: line %d exceeds %d bytes", ErrRecordTooLarge, lineNo, MaxNDJSONRecord)
+		}
+		atEOF := err == io.EOF
+		if err != nil && !atEOF {
+			return nil, fmt.Errorf("trace: read line %d: %w", lineNo, err)
+		}
+		terminated := strings.HasSuffix(line, "\n")
+		line = strings.TrimRight(line, "\r\n")
+		line = strings.TrimSpace(line)
+		if line != "" {
+			ev, perr := parseNDJSONEvent(line)
+			if perr != nil {
+				if atEOF && !terminated {
+					// The stream ends mid-record: an upload cut off before the
+					// final newline, not a malformed line.
+					return nil, fmt.Errorf("%w: line %d: %v", ErrTruncated, lineNo, perr)
+				}
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, perr)
+			}
+			events = append(events, ev)
+		}
+		if atEOF {
+			break
+		}
+	}
+	if len(events) == 0 {
+		return nil, ErrEmptyTrace
+	}
+	return events, nil
+}
+
+// errLineTooLong is readBoundedLine's internal overflow signal.
+var errLineTooLong = errors.New("line too long")
+
+// readBoundedLine reads one newline-terminated line of at most
+// MaxNDJSONRecord bytes (including the newline). At end of input it
+// returns the final unterminated chunk, if any, with io.EOF.
+func readBoundedLine(br *bufio.Reader) (string, error) {
+	var sb strings.Builder
+	for {
+		chunk, err := br.ReadString('\n')
+		sb.WriteString(chunk)
+		if sb.Len() > MaxNDJSONRecord {
+			return "", errLineTooLong
+		}
+		if err != nil {
+			return sb.String(), err
+		}
+		if strings.HasSuffix(chunk, "\n") {
+			return sb.String(), nil
+		}
+	}
+}
+
+// parseNDJSONEvent decodes one trimmed, non-empty NDJSON line.
+func parseNDJSONEvent(line string) (Event, error) {
+	var rec ndjsonEvent
+	dec := json.NewDecoder(strings.NewReader(line))
+	if err := dec.Decode(&rec); err != nil {
+		return Event{}, fmt.Errorf("invalid JSON: %v", err)
+	}
+	if rec.Addr == nil {
+		return Event{}, fmt.Errorf("missing \"addr\" field")
+	}
+	if *rec.Addr < 0 {
+		return Event{}, fmt.Errorf("negative address %d", *rec.Addr)
+	}
+	data, err := base64.StdEncoding.DecodeString(rec.Data)
+	if err != nil {
+		return Event{}, fmt.Errorf("invalid base64 data: %v", err)
+	}
+	if len(data) != block.Size {
+		return Event{}, fmt.Errorf("data is %d bytes, want %d", len(data), block.Size)
+	}
+	ev := Event{Addr: *rec.Addr}
+	copy(ev.Data[:], data)
+	return ev, nil
+}

@@ -142,12 +142,16 @@ func Profiles() []Profile {
 	return out
 }
 
-// ByName returns the profile for the given SPEC benchmark name.
+// ByName returns the profile for the given SPEC benchmark name, or the
+// adversarial stress preset for AdversarialName.
 func ByName(name string) (Profile, error) {
 	for _, p := range profiles {
 		if p.Name == name {
 			return p, nil
 		}
+	}
+	if name == AdversarialName {
+		return adversarialProfile, nil
 	}
 	return Profile{}, fmt.Errorf("workload: unknown profile %q", name)
 }

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"fmt"
+
+	"pcmcomp/internal/trace"
+)
+
+// Source is a write-back stream: the synthetic Generator is one, and
+// Replay (an uploaded trace played back) is the other. Jobs consume
+// workloads through this interface so a trace digest can stand in for a
+// profile name anywhere.
+type Source interface {
+	// Next produces the next write-back event.
+	Next() trace.Event
+	// Lines is the size of the source's dense line address space; every
+	// event address is in [0, Lines).
+	Lines() int
+}
+
+// Replay plays back a recorded trace cyclically. Addresses are densified
+// on construction — each distinct address is renumbered by order of first
+// appearance — so a sparse physical trace maps onto the simulator's dense
+// line space deterministically, independent of how the trace was
+// collected.
+type Replay struct {
+	events []trace.Event
+	lines  int
+	pos    int
+}
+
+// NewReplay builds a replay source from recorded events.
+func NewReplay(events []trace.Event) (*Replay, error) {
+	if len(events) == 0 {
+		return nil, trace.ErrEmptyTrace
+	}
+	remap := make(map[int]int)
+	out := make([]trace.Event, len(events))
+	for i, ev := range events {
+		if ev.Addr < 0 {
+			return nil, fmt.Errorf("workload: trace event %d has negative address %d", i, ev.Addr)
+		}
+		dense, ok := remap[ev.Addr]
+		if !ok {
+			dense = len(remap)
+			remap[ev.Addr] = dense
+		}
+		out[i] = trace.Event{Addr: dense, Data: ev.Data}
+	}
+	return &Replay{events: out, lines: len(remap)}, nil
+}
+
+// Lines returns the number of distinct lines the trace touches.
+func (r *Replay) Lines() int { return r.lines }
+
+// Len returns the recorded event count (one replay cycle).
+func (r *Replay) Len() int { return len(r.events) }
+
+// Events returns the densified event sequence (shared, not a copy —
+// callers must not mutate it).
+func (r *Replay) Events() []trace.Event { return r.events }
+
+// Next returns the next event, wrapping to the start after the last.
+func (r *Replay) Next() trace.Event {
+	ev := r.events[r.pos]
+	r.pos++
+	if r.pos == len(r.events) {
+		r.pos = 0
+	}
+	return ev
+}

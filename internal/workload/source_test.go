@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"testing"
+
+	"pcmcomp/internal/trace"
+)
+
+// Both stream kinds satisfy Source.
+var (
+	_ Source = (*Generator)(nil)
+	_ Source = (*Replay)(nil)
+)
+
+func TestReplayDensifiesAndCycles(t *testing.T) {
+	mk := func(addr int, fill byte) trace.Event {
+		ev := trace.Event{Addr: addr}
+		for i := range ev.Data {
+			ev.Data[i] = fill
+		}
+		return ev
+	}
+	// Sparse physical addresses: 900, 17, 900 again, 5000.
+	src, err := NewReplay([]trace.Event{mk(900, 1), mk(17, 2), mk(900, 3), mk(5000, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Lines() != 3 || src.Len() != 4 {
+		t.Fatalf("Lines=%d Len=%d, want 3, 4", src.Lines(), src.Len())
+	}
+	wantAddrs := []int{0, 1, 0, 2} // first-appearance order
+	for cycle := 0; cycle < 2; cycle++ {
+		for i, want := range wantAddrs {
+			ev := src.Next()
+			if ev.Addr != want {
+				t.Fatalf("cycle %d event %d: addr %d, want %d", cycle, i, ev.Addr, want)
+			}
+		}
+	}
+	if _, err := NewReplay(nil); err == nil {
+		t.Fatal("NewReplay(empty) should fail")
+	}
+	if _, err := NewReplay([]trace.Event{{Addr: -1}}); err == nil {
+		t.Fatal("NewReplay(negative addr) should fail")
+	}
+}
+
+func TestAdversarialPreset(t *testing.T) {
+	prof, err := ByName(AdversarialName)
+	if err != nil {
+		t.Fatalf("ByName(adversarial): %v", err)
+	}
+	if prof.Name != AdversarialName {
+		t.Fatalf("profile name = %q", prof.Name)
+	}
+	// The stress preset is not one of the paper's Table III models.
+	for _, name := range Names() {
+		if name == AdversarialName {
+			t.Fatal("adversarial must not appear in the Table III Names()")
+		}
+	}
+
+	g, err := NewGenerator(prof, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every line alternates all-ones, all-zeros, all-ones, ... — each
+	// rewrite flips all 512 bits of the line.
+	writes := make(map[int]int)
+	for i := 0; i < 400; i++ {
+		ev := g.Next()
+		want := byte(0x00)
+		if writes[ev.Addr]%2 == 0 {
+			want = 0xFF
+		}
+		for j, b := range ev.Data {
+			if b != want {
+				t.Fatalf("event %d (addr %d, write %d): byte %d = %#x, want %#x",
+					i, ev.Addr, writes[ev.Addr], j, b, want)
+			}
+		}
+		writes[ev.Addr]++
+	}
+	// The skew must concentrate writes: the hottest line takes a plurality.
+	if writes[0] < 100 {
+		t.Fatalf("hottest line got %d/400 writes; skew too weak for a stress case", writes[0])
+	}
+
+	// Determinism: the same (lines, seed) pair replays bit-identically.
+	g1, _ := NewGenerator(prof, 8, 7)
+	g2, _ := NewGenerator(prof, 8, 7)
+	for i := 0; i < 100; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatalf("adversarial stream diverged at event %d", i)
+		}
+	}
+}

@@ -82,6 +82,9 @@ type Profile struct {
 	UpdateSparsity float64
 	// ZipfS is the skew of line-address popularity (0 = uniform).
 	ZipfS float64
+	// adversarial switches the generator to the worst-case stress stream
+	// (see adversarial.go) instead of the calibrated mixture model.
+	adversarial bool
 }
 
 // MeanCompressedSize returns the mixture's expected nominal size in bytes.
@@ -169,6 +172,9 @@ func (g *Generator) sampleClass() contentClass {
 
 // Next produces the next write-back event.
 func (g *Generator) Next() trace.Event {
+	if g.prof.adversarial {
+		return g.nextAdversarial()
+	}
 	addr := g.zipf.sample(g.r)
 	ls := &g.lines[addr]
 	switch {
