@@ -1,0 +1,264 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"pcmcomp/internal/fleetobs"
+	"pcmcomp/internal/pcmclient"
+)
+
+// runStatus implements `pcmctl status -server URL [-json] [-watch]`: one
+// fleet health snapshot rendered as tables (or raw JSON), or — with
+// -watch — a line per snapshot as the stream publishes them.
+func runStatus(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pcmctl status", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	serverURL := fs.String("server", "", "pcmd base URL (required)")
+	asJSON := fs.Bool("json", false, "print the raw snapshot JSON instead of tables")
+	watch := fs.Bool("watch", false, "follow the snapshot stream, one summary line per scrape")
+	apiKey := fs.String("api-key", "", "tenant API key (X-Api-Key header)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *serverURL == "" {
+		return fmt.Errorf("-server is required")
+	}
+	c := pcmclient.New(*serverURL)
+	c.APIKey = *apiKey
+
+	if *watch {
+		return c.WatchFleet(ctx, func(snap *fleetobs.FleetSnapshot) {
+			if *asJSON {
+				data, _ := json.Marshal(snap)
+				fmt.Fprintln(stdout, string(data))
+				return
+			}
+			fmt.Fprintln(stdout, snapshotLine(snap))
+		}, nil)
+	}
+
+	snap, err := c.FleetStatus(ctx)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(snap)
+	}
+	return renderSnapshot(stdout, snap)
+}
+
+// runTop implements `pcmctl top -server URL`: a live full-screen view of
+// the fleet, redrawn on every snapshot the watch stream delivers, until
+// interrupted.
+func runTop(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pcmctl top", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	serverURL := fs.String("server", "", "pcmd base URL (required)")
+	apiKey := fs.String("api-key", "", "tenant API key (X-Api-Key header)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *serverURL == "" {
+		return fmt.Errorf("-server is required")
+	}
+	c := pcmclient.New(*serverURL)
+	c.APIKey = *apiKey
+	err := c.WatchFleet(ctx, func(snap *fleetobs.FleetSnapshot) {
+		fmt.Fprint(stdout, "\033[H\033[2J") // cursor home + clear screen
+		_ = renderSnapshot(stdout, snap)
+	}, nil)
+	if ctx.Err() != nil {
+		fmt.Fprintln(stderr)
+		return nil // interrupted: a clean exit, not an error
+	}
+	return err
+}
+
+// runIncidents implements `pcmctl incidents -server URL [get <id>]`: the
+// captured SLO-breach incidents as a table, or one full bundle as JSON.
+func runIncidents(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pcmctl incidents", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	serverURL := fs.String("server", "", "pcmd base URL (required)")
+	apiKey := fs.String("api-key", "", "tenant API key (X-Api-Key header)")
+	// Allow both `incidents get <id> -server URL` and flag-first orders:
+	// pull a leading "get <id>" off before flag parsing.
+	var getID string
+	if len(args) > 0 && args[0] == "get" {
+		if len(args) < 2 || strings.HasPrefix(args[1], "-") {
+			return fmt.Errorf("usage: pcmctl incidents get <id> -server URL")
+		}
+		getID, args = args[1], args[2:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *serverURL == "" {
+		return fmt.Errorf("-server is required")
+	}
+	c := pcmclient.New(*serverURL)
+	c.APIKey = *apiKey
+
+	if getID != "" {
+		inc, err := c.Incident(ctx, getID)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(inc)
+	}
+
+	list, err := c.Incidents(ctx)
+	if err != nil {
+		return err
+	}
+	if len(list.Incidents) == 0 {
+		fmt.Fprintf(stdout, "no incidents captured (%d total over the process lifetime)\n", list.Total)
+		return nil
+	}
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ID\tTIME\tOBJECTIVE\tCOMPLETE\tREASON")
+	for _, inc := range list.Incidents {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%v\t%s\n",
+			inc.ID, inc.Time.Format(time.RFC3339), inc.Objective, inc.Complete, inc.Reason)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if evicted := list.Total - uint64(len(list.Incidents)); evicted > 0 {
+		fmt.Fprintf(stdout, "(%d older incidents evicted from the ring)\n", evicted)
+	}
+	return nil
+}
+
+// snapshotLine is the one-line -watch summary of a snapshot.
+func snapshotLine(snap *fleetobs.FleetSnapshot) string {
+	breaching := 0
+	for _, slo := range snap.SLOs {
+		if slo.Breaching {
+			breaching++
+		}
+	}
+	return fmt.Sprintf("%s  up %d/%d  queued %.0f  running %.0f  jobs %.2f/s p95 %.1fms  http %.2f/s p99 %.1fms  slo-breaching %d  incidents %d",
+		snap.Time.Format(time.RFC3339), snap.Fleet.Up, snap.Fleet.Backends,
+		snap.Fleet.Queued, snap.Fleet.Running,
+		snap.Fleet.Jobs.RatePerSec, snap.Fleet.Jobs.P95ms,
+		snap.Fleet.HTTP.RatePerSec, snap.Fleet.HTTP.P99ms,
+		breaching, snap.Incidents.Total)
+}
+
+// renderSnapshot draws the full fleet view: totals, a backend table, the
+// SLO table, and the incident counters.
+func renderSnapshot(w io.Writer, snap *fleetobs.FleetSnapshot) error {
+	fmt.Fprintf(w, "fleet %s  window %s  scrape %s\n",
+		snap.Time.Format(time.RFC3339), snap.Window, snap.ScrapeInterval)
+	fmt.Fprintf(w, "backends %d/%d up, %d breakers open  queued %.0f running %.0f  jobs %.2f/s (err %.2f%%)  http %.2f/s (err %.2f%%)\n",
+		snap.Fleet.Up, snap.Fleet.Backends, snap.Fleet.BreakersOpen,
+		snap.Fleet.Queued, snap.Fleet.Running,
+		snap.Fleet.Jobs.RatePerSec, snap.Fleet.JobErrorRate*100,
+		snap.Fleet.HTTP.RatePerSec, snap.Fleet.HTTPErrorRate*100)
+	if ex := snap.Fleet.Jobs.ExemplarTraceID; ex != "" {
+		fmt.Fprintf(w, "slowest recent job: trace %s (%.3fs)\n", ex, snap.Fleet.Jobs.ExemplarSeconds)
+	}
+	fmt.Fprintln(w)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "BACKEND\tUP\tBREAKER\tQUEUED\tRUNNING\tJOBS/S\tJOB P95\tHTTP/S\tHTTP P99\tGOROUTINES")
+	for _, b := range snap.Backends {
+		name := b.Name
+		if b.Self {
+			name += " (self)"
+		}
+		up := "up"
+		if !b.Up {
+			up = "DOWN"
+			if b.ScrapeError != "" {
+				up = "DOWN: " + b.ScrapeError
+			}
+		}
+		breaker := b.Breaker
+		if breaker == "" {
+			breaker = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.0f\t%.0f\t%.2f\t%.1fms\t%.2f\t%.1fms\t%.0f\n",
+			name, up, breaker, b.Queued, b.Running,
+			b.Jobs.RatePerSec, b.Jobs.P95ms, b.HTTP.RatePerSec, b.HTTP.P99ms, b.Goroutines)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if len(snap.SLOs) > 0 {
+		fmt.Fprintln(w)
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "SLO\tSTATE\tWINDOWS (value/target burn)")
+		for _, slo := range snap.SLOs {
+			state := "ok"
+			if slo.Breaching {
+				state = "BREACHING"
+				if slo.Since != nil {
+					state += " since " + slo.Since.Format(time.RFC3339)
+				}
+			}
+			parts := make([]string, 0, len(slo.Windows))
+			for _, win := range slo.Windows {
+				if win.Samples == 0 {
+					parts = append(parts, fmt.Sprintf("%s: no data", win.Window))
+					continue
+				}
+				parts = append(parts, fmt.Sprintf("%s: %.4g/%.4g %.1fx", win.Window, win.Value, win.Target, win.Burn))
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\n", slo.Name, state, strings.Join(parts, "  "))
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(w, "\nincidents: %d stored / %d total", snap.Incidents.Stored, snap.Incidents.Total)
+	if snap.Incidents.LastID != "" {
+		fmt.Fprintf(w, " (last %s)", snap.Incidents.LastID)
+	}
+	fmt.Fprintln(w)
+
+	// Per-tenant rows only when any backend reports tenant activity.
+	tenants := map[string]fleetobs.TenantStats{}
+	for _, b := range snap.Backends {
+		for name, ts := range b.Tenants {
+			agg := tenants[name]
+			agg.SubmitPerSec += ts.SubmitPerSec
+			agg.ThrottlePerSec += ts.ThrottlePerSec
+			agg.QueueDepth += ts.QueueDepth
+			tenants[name] = agg
+		}
+	}
+	if len(tenants) > 0 {
+		names := make([]string, 0, len(tenants))
+		for name := range tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintln(w)
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "TENANT\tSUBMIT/S\tTHROTTLE/S\tQUEUE")
+		for _, name := range names {
+			ts := tenants[name]
+			fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.0f\n", name, ts.SubmitPerSec, ts.ThrottlePerSec, ts.QueueDepth)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

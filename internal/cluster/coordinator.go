@@ -224,6 +224,29 @@ func (c *Coordinator) CheckAll(ctx context.Context) {
 	}
 }
 
+// ReportProbe feeds an out-of-band health observation for one backend
+// into its breaker — the fleet health plane's metric scrapes double as
+// probes this way, so a backend whose /metrics stops answering is
+// sidelined from dispatch without waiting for the next HealthLoop tick.
+// Unknown names are ignored.
+func (c *Coordinator) ReportProbe(name string, err error) {
+	for _, bs := range c.backends {
+		if bs.b.Name() != name {
+			continue
+		}
+		if err != nil {
+			c.metrics.probeFail.Add(1)
+			if bs.forceOpen(c.opts.BreakerCooldown, time.Now()) {
+				c.metrics.breakerOpens.Add(1)
+			}
+		} else {
+			c.metrics.probeOK.Add(1)
+			bs.onSuccess()
+		}
+		return
+	}
+}
+
 // HealthLoop probes the fleet every interval until the context is
 // canceled. Run it as a goroutine alongside long-lived coordinators so a
 // crashed backend is sidelined between sweeps and a recovered one is

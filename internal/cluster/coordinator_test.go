@@ -365,6 +365,46 @@ func TestBreakerOpensAndRecovers(t *testing.T) {
 	}
 }
 
+func TestReportProbe(t *testing.T) {
+	a := NewLoopback("a", 1, echoRun)
+	b := NewLoopback("b", 1, echoRun)
+	c, err := New([]Backend{a, b}, Options{BreakerCooldown: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A failed out-of-band probe (e.g. a fleetobs scrape) opens the circuit.
+	c.ReportProbe("a", errors.New("scrape: connection refused"))
+	st := c.Backends()
+	if st[0].Healthy || !st[1].Healthy {
+		t.Fatalf("after failed probe: %+v", st)
+	}
+	if m := c.Metrics(); m.ProbesFailed != 1 || m.BreakerOpens != 1 {
+		t.Fatalf("metrics after failure: %+v", m)
+	}
+
+	// Repeat failures don't double-count the open transition.
+	c.ReportProbe("a", errors.New("still down"))
+	if m := c.Metrics(); m.BreakerOpens != 1 {
+		t.Fatalf("breaker opens = %d, want 1", m.BreakerOpens)
+	}
+
+	// A successful probe closes it again.
+	c.ReportProbe("a", nil)
+	if st := c.Backends(); !st[0].Healthy {
+		t.Fatalf("after recovery probe: %+v", st[0])
+	}
+	if m := c.Metrics(); m.ProbesOK != 1 {
+		t.Fatalf("probesOK = %d, want 1", m.ProbesOK)
+	}
+
+	// Unknown backends are ignored, not invented.
+	c.ReportProbe("nope", errors.New("x"))
+	if got := len(c.Backends()); got != 2 {
+		t.Fatalf("backends = %d, want 2", got)
+	}
+}
+
 func TestAllCircuitsOpenStillDispatches(t *testing.T) {
 	// A fully-open fleet must limp along (half-open fallback), not deadlock.
 	var calls atomic.Int64

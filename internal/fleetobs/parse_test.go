@@ -1,0 +1,355 @@
+package fleetobs
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestParseExposition(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want []Sample
+	}{
+		{
+			name: "bare counter",
+			in:   "pcmd_cache_hits_total 42\n",
+			want: []Sample{{Name: "pcmd_cache_hits_total", Value: 42}},
+		},
+		{
+			name: "labeled counter",
+			in:   `pcmd_jobs_done_total{kind="lifetime"} 7` + "\n",
+			want: []Sample{{Name: "pcmd_jobs_done_total", Labels: map[string]string{"kind": "lifetime"}, Value: 7}},
+		},
+		{
+			name: "multiple labels with trailing comma",
+			in:   `m{a="1",b="2",} 1` + "\n",
+			want: []Sample{{Name: "m", Labels: map[string]string{"a": "1", "b": "2"}, Value: 1}},
+		},
+		{
+			name: "escaped quote backslash newline",
+			in:   `m{v="a\"b\\c\nd"} 1` + "\n",
+			want: []Sample{{Name: "m", Labels: map[string]string{"v": "a\"b\\c\nd"}, Value: 1}},
+		},
+		{
+			name: "label value with brace and comma",
+			in:   `m{route="GET /v1/jobs/{id}",x="a,b"} 2` + "\n",
+			want: []Sample{{Name: "m", Labels: map[string]string{"route": "GET /v1/jobs/{id}", "x": "a,b"}, Value: 2}},
+		},
+		{
+			name: "inf bucket",
+			in:   `h_bucket{le="+Inf"} 5` + "\n",
+			want: []Sample{{Name: "h_bucket", Labels: map[string]string{"le": "+Inf"}, Value: 5}},
+		},
+		{
+			name: "scientific notation and negatives",
+			in:   "a 1e-9\nb -3.5\n",
+			want: []Sample{{Name: "a", Value: 1e-9}, {Name: "b", Value: -3.5}},
+		},
+		{
+			name: "timestamp is discarded",
+			in:   "a 1 1712345678000\n",
+			want: []Sample{{Name: "a", Value: 1}},
+		},
+		{
+			name: "comments blanks and CRLF are skipped",
+			in:   "# HELP a help text\n# TYPE a counter\n\r\na 3\r\n   # free comment\n",
+			want: []Sample{{Name: "a", Value: 3}},
+		},
+		{
+			name: "exemplar on bucket line",
+			in:   `h_bucket{le="+Inf"} 5 # {trace_id="abc123"} 3.21` + "\n",
+			want: []Sample{{
+				Name: "h_bucket", Labels: map[string]string{"le": "+Inf"}, Value: 5,
+				Exemplar: &Exemplar{Labels: map[string]string{"trace_id": "abc123"}, Value: 3.21},
+			}},
+		},
+		{
+			name: "exemplar with timestamp",
+			in:   `h_bucket{le="1"} 2 # {trace_id="t"} 0.5 1712345678.123` + "\n",
+			want: []Sample{{
+				Name: "h_bucket", Labels: map[string]string{"le": "1"}, Value: 2,
+				Exemplar: &Exemplar{Labels: map[string]string{"trace_id": "t"}, Value: 0.5},
+			}},
+		},
+		{
+			name: "colon in metric name",
+			in:   "ns:sub:metric 1\n",
+			want: []Sample{{Name: "ns:sub:metric", Value: 1}},
+		},
+		{
+			name: "empty label value",
+			in:   `m{a=""} 1` + "\n",
+			want: []Sample{{Name: "m", Labels: map[string]string{"a": ""}, Value: 1}},
+		},
+		{
+			name: "no trailing newline",
+			in:   "a 1",
+			want: []Sample{{Name: "a", Value: 1}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseExposition([]byte(tc.in))
+			if err != nil {
+				t.Fatalf("ParseExposition: %v", err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("ParseExposition:\n got %+v\nwant %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseExpositionSpecialValues(t *testing.T) {
+	samples, err := ParseExposition([]byte("a +Inf\nb -Inf\nc NaN\n"))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v", err)
+	}
+	if !math.IsInf(samples[0].Value, 1) || !math.IsInf(samples[1].Value, -1) || !math.IsNaN(samples[2].Value) {
+		t.Fatalf("special values not preserved: %+v", samples)
+	}
+}
+
+func TestParseExpositionErrors(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"missing value", "a\n", "expected value"},
+		{"garbage value", "a xyz\n", "bad sample value"},
+		{"unterminated labels", `m{a="1"`, "unterminated"},
+		{"unterminated quote", `m{a="1} 2`, "unterminated"},
+		{"unknown escape", `m{a="\t"} 1`, "unknown escape"},
+		{"dangling escape", `m{a="\`, "dangling escape"},
+		{"duplicate label", `m{a="1",a="2"} 1`, "duplicate label"},
+		{"missing equals", `m{a} 1`, "must be followed"},
+		{"missing quote", `m{a=1} 1`, "must be followed"},
+		{"bad metric name", "{a=\"1\"} 1\n", "missing metric name"},
+		{"digit-leading name", "1abc 2\n", "missing metric name"},
+		{"too many fields", "a 1 2 3\n", "expected value"},
+		{"bad timestamp", "a 1 notats\n", "bad timestamp"},
+		{"bad exemplar", "a 1 # nolabels 2\n", "exemplar"},
+		{"exemplar missing value", `a 1 # {trace_id="t"}` + "\n", "exemplar"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseExposition([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("ParseExposition(%q): want error containing %q, got nil", tc.in, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ParseExposition(%q): error %q does not contain %q", tc.in, err, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), "line 1") {
+				t.Fatalf("error %q should carry the line number", err)
+			}
+		})
+	}
+}
+
+func TestParseExpositionLineNumbers(t *testing.T) {
+	_, err := ParseExposition([]byte("ok 1\n# comment\nbroken\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want line 3 in error, got %v", err)
+	}
+}
+
+func TestSumOfAndGaugeOf(t *testing.T) {
+	samples, err := ParseExposition([]byte(
+		"c{kind=\"a\"} 1\nc{kind=\"b\"} 2\nc{kind=\"a\",extra=\"x\"} 4\ng 9\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SumOf(samples, "c", nil); got != 7 {
+		t.Fatalf("SumOf all = %g, want 7", got)
+	}
+	if got := SumOf(samples, "c", map[string]string{"kind": "a"}); got != 5 {
+		t.Fatalf("SumOf kind=a = %g, want 5", got)
+	}
+	if v, ok := GaugeOf(samples, "g", nil); !ok || v != 9 {
+		t.Fatalf("GaugeOf g = %g,%v want 9,true", v, ok)
+	}
+	if _, ok := GaugeOf(samples, "missing", nil); ok {
+		t.Fatal("GaugeOf missing should not match")
+	}
+}
+
+func TestHistogramsOf(t *testing.T) {
+	body := `
+h_bucket{kind="a",le="0.1"} 1
+h_bucket{kind="a",le="1"} 3
+h_bucket{kind="a",le="+Inf"} 4 # {trace_id="slow1"} 2.5
+h_sum{kind="a"} 5.5
+h_count{kind="a"} 4
+h_bucket{kind="b",le="0.1"} 10
+h_bucket{kind="b",le="1"} 10
+h_bucket{kind="b",le="+Inf"} 10
+h_sum{kind="b"} 0.2
+h_count{kind="b"} 10
+`
+	samples, err := ParseExposition([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := HistogramsOf(samples, "h")
+	if len(hs) != 2 {
+		t.Fatalf("got %d histograms, want 2", len(hs))
+	}
+	a := hs[0]
+	if a.Labels["kind"] != "a" {
+		t.Fatalf("first histogram labels %v, want kind=a (first appearance order)", a.Labels)
+	}
+	if a.Hist.Count != 4 || a.Hist.Sum != 5.5 {
+		t.Fatalf("kind=a count/sum = %g/%g, want 4/5.5", a.Hist.Count, a.Hist.Sum)
+	}
+	if len(a.Hist.UpperBounds) != 3 || !math.IsInf(a.Hist.UpperBounds[2], 1) {
+		t.Fatalf("kind=a bounds %v, want [0.1 1 +Inf]", a.Hist.UpperBounds)
+	}
+	if a.Hist.ExemplarTrace != "slow1" || a.Hist.ExemplarValue != 2.5 {
+		t.Fatalf("kind=a exemplar %q/%g, want slow1/2.5", a.Hist.ExemplarTrace, a.Hist.ExemplarValue)
+	}
+	if hs[1].Hist.ExemplarTrace != "" {
+		t.Fatalf("kind=b should have no exemplar, got %q", hs[1].Hist.ExemplarTrace)
+	}
+}
+
+// FuzzParseExposition asserts the parser never panics and that accepted
+// input re-parses identically after a round trip through rendering —
+// i.e. parsing is a projection: render(parse(x)) parses to the same
+// samples.
+func FuzzParseExposition(f *testing.F) {
+	seeds := []string{
+		"a 1\n",
+		"# TYPE a counter\na 2 123\n",
+		`m{a="1",b="x\"y\\z\n"} 3` + "\n",
+		`h_bucket{kind="a",le="+Inf"} 5 # {trace_id="t"} 1.25` + "\n",
+		"a +Inf\nb NaN\n",
+		"m{} 0\n",
+		`m{route="GET /v1/jobs/{id}"} 1` + "\n",
+		"broken {",
+		`m{a="` + "\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		samples, err := ParseExposition(data)
+		if err != nil {
+			return
+		}
+		rendered := renderSamples(samples)
+		again, err := ParseExposition([]byte(rendered))
+		if err != nil {
+			t.Fatalf("re-parse of rendered output failed: %v\nrendered:\n%s", err, rendered)
+		}
+		if len(again) != len(samples) {
+			t.Fatalf("round trip changed sample count: %d -> %d\nrendered:\n%s", len(samples), len(again), rendered)
+		}
+		for i := range samples {
+			if !sameSample(samples[i], again[i]) {
+				t.Fatalf("round trip changed sample %d:\n was %+v\n now %+v\nrendered:\n%s",
+					i, samples[i], again[i], rendered)
+			}
+		}
+	})
+}
+
+// renderSamples writes samples back in exposition format (test-only; the
+// production side renders via internal/server's WriteTo).
+func renderSamples(samples []Sample) string {
+	var b strings.Builder
+	for i := range samples {
+		s := &samples[i]
+		b.WriteString(s.Name)
+		writeLabels(&b, s.Labels)
+		b.WriteByte(' ')
+		b.WriteString(formatValue(s.Value))
+		if s.Exemplar != nil {
+			b.WriteString(" # ")
+			writeLabels(&b, s.Exemplar.Labels)
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.Exemplar.Value))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func writeLabels(b *strings.Builder, labels map[string]string) {
+	// Empty exemplar label sets still need a block: the grammar requires
+	// one after '#'.
+	if len(labels) == 0 {
+		b.WriteString("{}")
+		return
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic rendering
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		v := labels[k]
+		v = strings.ReplaceAll(v, `\`, `\\`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		v = strings.ReplaceAll(v, "\n", `\n`)
+		b.WriteString(v)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	// Shortest round-trippable form keeps full precision.
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sameSample(a, b Sample) bool {
+	if a.Name != b.Name || !sameLabels(a.Labels, b.Labels) || !sameFloat(a.Value, b.Value) {
+		return false
+	}
+	switch {
+	case a.Exemplar == nil && b.Exemplar == nil:
+		return true
+	case a.Exemplar == nil || b.Exemplar == nil:
+		return false
+	}
+	return sameLabels(a.Exemplar.Labels, b.Exemplar.Labels) && sameFloat(a.Exemplar.Value, b.Exemplar.Value)
+}
+
+func sameLabels(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		bv, ok := b[k]
+		if !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+func sameFloat(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return a == b
+}

@@ -22,6 +22,12 @@ var latencyBuckets = []float64{0.01, 0.1, 0.5, 1, 5, 30, 120, 600}
 // lookup plus marshaling, so the range is tighter than the job buckets.
 var httpBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
 
+// exemplarTTL is how long a histogram's exemplar stays sticky: within it
+// only a slower observation replaces the exemplar, past it any traced
+// observation does, so the exemplar always points at a *recent* worst
+// case rather than a spike from hours ago.
+const exemplarTTL = 5 * time.Minute
+
 // histogram is a fixed-bucket latency histogram (cumulative on render,
 // per-bucket in memory; counts[len(buckets)] is +Inf). Guarded by the
 // owning metrics mutex. A nil buckets slice selects latencyBuckets.
@@ -30,9 +36,22 @@ type histogram struct {
 	counts  []uint64
 	sum     float64
 	n       uint64
+
+	// The exemplar: the trace ID of the slowest recent observation,
+	// rendered in OpenMetrics exemplar syntax on the +Inf bucket so a
+	// scraped latency spike links to the trace that caused it.
+	exTrace string
+	exVal   float64
+	exAt    time.Time
 }
 
 func (h *histogram) observe(seconds float64) {
+	h.observeTrace(seconds, "", time.Time{})
+}
+
+// observeTrace records one observation and, when it carries a trace ID,
+// offers it as the family's exemplar.
+func (h *histogram) observeTrace(seconds float64, traceID string, now time.Time) {
 	if h.buckets == nil {
 		h.buckets = latencyBuckets
 	}
@@ -43,18 +62,26 @@ func (h *histogram) observe(seconds float64) {
 	h.counts[i]++
 	h.sum += seconds
 	h.n++
+	if traceID != "" && (h.exTrace == "" || seconds >= h.exVal || now.Sub(h.exAt) > exemplarTTL) {
+		h.exTrace, h.exVal, h.exAt = traceID, seconds, now
+	}
 }
 
 // writeHistogram renders one labeled histogram series set (cumulative
 // buckets, +Inf, sum, count). labels is the rendered label list without
-// the le pair, e.g. `kind="lifetime"`.
+// the le pair, e.g. `kind="lifetime"`. A histogram with an exemplar
+// renders it on the +Inf bucket line in OpenMetrics syntax.
 func writeHistogram(w io.Writer, family, labels string, h *histogram) {
 	var cum uint64
 	for i, ub := range h.buckets {
 		cum += h.counts[i]
 		fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", family, labels, fmt.Sprintf("%g", ub), cum)
 	}
-	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", family, labels, h.n)
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d", family, labels, h.n)
+	if h.exTrace != "" {
+		fmt.Fprintf(w, " # {trace_id=%q} %g", h.exTrace, h.exVal)
+	}
+	fmt.Fprintln(w)
 	fmt.Fprintf(w, "%s_sum{%s} %g\n", family, labels, h.sum)
 	fmt.Fprintf(w, "%s_count{%s} %d\n", family, labels, h.n)
 }
@@ -87,9 +114,10 @@ type metrics struct {
 	// canonical scheme spec.
 	sweepSchemes map[string]uint64
 
-	httpPanics uint64                // handler panics recovered to 500s
-	jobPanics  uint64                // job-exec panics recovered by workers
-	http       map[string]*routeStat // per-route request accounting
+	httpPanics     uint64                // handler panics recovered to 500s
+	jobPanics      uint64                // job-exec panics recovered by workers
+	logsSuppressed uint64                // access-log lines dropped by the sampler
+	http           map[string]*routeStat // per-route request accounting
 
 	// Front-door accounting, keyed by tenant name.
 	tenantSubmits   map[string]uint64 // submissions admitted past the quota
@@ -160,6 +188,13 @@ func (m *metrics) jobPanicked(kind Kind, prior State, elapsed time.Duration) {
 	}
 }
 
+// logSuppressed counts an access-log line the sampler dropped.
+func (m *metrics) logSuppressed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.logsSuppressed++
+}
+
 // sseStarted registers one open streaming /events connection.
 func (m *metrics) sseStarted() {
 	m.mu.Lock()
@@ -219,15 +254,16 @@ func (m *metrics) httpStart(route string) {
 	m.routeLocked(route).inflight++
 }
 
-// httpDone completes a route's request accounting.
-func (m *metrics) httpDone(route string, code int, elapsed time.Duration) {
+// httpDone completes a route's request accounting. traceID, when the
+// request carried one, feeds the route's latency exemplar.
+func (m *metrics) httpDone(route string, code int, elapsed time.Duration, traceID string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	rs := m.routeLocked(route)
 	rs.inflight--
 	rs.byCode[code]++
 	rs.seconds.buckets = httpBuckets
-	rs.seconds.observe(elapsed.Seconds())
+	rs.seconds.observeTrace(elapsed.Seconds(), traceID, time.Now())
 }
 
 func (m *metrics) routeLocked(route string) *routeStat {
@@ -262,7 +298,7 @@ const (
 	outcomeCanceled
 )
 
-func (m *metrics) jobFinished(kind Kind, outcome jobOutcome, elapsed time.Duration) {
+func (m *metrics) jobFinished(kind Kind, outcome jobOutcome, elapsed time.Duration, traceID string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.running--
@@ -279,7 +315,7 @@ func (m *metrics) jobFinished(kind Kind, outcome jobOutcome, elapsed time.Durati
 		h = &histogram{}
 		m.latency[kind] = h
 	}
-	h.observe(elapsed.Seconds())
+	h.observeTrace(elapsed.Seconds(), traceID, time.Now())
 }
 
 // jobSkipped accounts for a queued job a worker dequeued but did not run
@@ -483,6 +519,7 @@ func (m *metrics) WriteTo(w io.Writer, rt runtimeStats) {
 		}
 	}
 	fmt.Fprintf(w, "# TYPE pcmd_job_panics_total counter\npcmd_job_panics_total %d\n", m.jobPanics)
+	fmt.Fprintf(w, "# TYPE pcmd_log_suppressed_total counter\npcmd_log_suppressed_total %d\n", m.logsSuppressed)
 	fmt.Fprintf(w, "# TYPE pcmd_sse_active gauge\npcmd_sse_active %d\n", m.sseActive)
 	fmt.Fprintf(w, "# TYPE pcmd_sse_streams_total counter\npcmd_sse_streams_total %d\n", m.sseStreams)
 

@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"pcmcomp/internal/fleetobs"
 )
 
 // metricSample is one parsed exposition line: name, raw label block
@@ -53,6 +55,12 @@ func parseExposition(t *testing.T, body string) (types map[string]string, typeLi
 		}
 		if strings.HasPrefix(line, "#") {
 			continue // HELP or comment
+		}
+		// Strip an OpenMetrics exemplar suffix (` # {labels} value`) so the
+		// sample value parses; exemplar correctness is covered by the
+		// fleetobs round-trip test.
+		if i := strings.Index(line, " # "); i >= 0 {
+			line = line[:i]
 		}
 		// Sample: name[{labels}] value
 		rest := line
@@ -260,6 +268,65 @@ func TestMetricsExpositionConformance(t *testing.T) {
 	}
 	if !strings.Contains(body, `pcmd_http_requests_total{route="GET /metrics"`) {
 		t.Error("per-route HTTP counters missing the /metrics route itself")
+	}
+}
+
+// TestMetricsFleetobsRoundTrip feeds the server's own /metrics output to
+// the fleet health plane's parser — the exact pair deployed together —
+// and checks the digested values match what the traffic produced: the
+// job counter, the job-latency histogram (count, sum, +Inf termination),
+// and the trace-ID exemplar the completed job stamped on it.
+func TestMetricsFleetobsRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	doc, code := submit(t, ts, "compression", `{"apps":["milc"],"scale":"quick","seed":11}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	job := pollDone(t, ts, doc["id"].(string))
+	traceID, _ := job["trace_id"].(string)
+	if traceID == "" {
+		t.Fatal("job document has no trace_id")
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	samples, err := fleetobs.ParseExposition(raw)
+	if err != nil {
+		t.Fatalf("fleetobs.ParseExposition rejected the server's own /metrics: %v", err)
+	}
+	if got := fleetobs.SumOf(samples, "pcmd_jobs_done_total", map[string]string{"kind": "compression"}); got != 1 {
+		t.Errorf("parsed pcmd_jobs_done_total{kind=compression} = %v, want 1", got)
+	}
+	hists := fleetobs.HistogramsOf(samples, "pcmd_job_seconds")
+	var compHist *fleetobs.Hist
+	for _, lh := range hists {
+		if lh.Labels["kind"] == "compression" {
+			compHist = lh.Hist
+		}
+	}
+	if compHist == nil {
+		t.Fatal("no pcmd_job_seconds{kind=compression} histogram recovered")
+	}
+	if compHist.Count != 1 || compHist.Sum <= 0 {
+		t.Errorf("recovered histogram count=%v sum=%v, want count 1 and positive sum", compHist.Count, compHist.Sum)
+	}
+	if n := len(compHist.CumCounts); n == 0 || compHist.CumCounts[n-1] != compHist.Count {
+		t.Errorf("histogram buckets %v not terminated at count %v", compHist.CumCounts, compHist.Count)
+	}
+	if compHist.ExemplarTrace != traceID {
+		t.Errorf("exemplar trace = %q, want the job's trace %q", compHist.ExemplarTrace, traceID)
+	}
+	if compHist.ExemplarValue <= 0 {
+		t.Errorf("exemplar value = %v, want > 0", compHist.ExemplarValue)
 	}
 }
 

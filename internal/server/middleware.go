@@ -87,9 +87,11 @@ func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc
 				reqLog = reqLog.With("tenant", tn.Name)
 			}
 		}
+		traceID := ""
 		if sc := obs.Extract(r); sc.Valid() {
 			ctx = obs.WithRemoteParent(ctx, sc)
 			reqLog = reqLog.With("trace_id", sc.TraceID)
+			traceID = sc.TraceID
 		}
 		ctx = obs.WithLogger(ctx, reqLog)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
@@ -103,7 +105,14 @@ func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc
 				}
 			}
 			elapsed := time.Since(start)
-			s.metrics.httpDone(pattern, sw.code, elapsed)
+			s.metrics.httpDone(pattern, sw.code, elapsed, traceID)
+			// Error responses always log; success lines pass through the
+			// sampler (per-route token bucket) so a hot polling loop cannot
+			// flood the collector.
+			if sw.code < http.StatusBadRequest && !s.logSample.allow(pattern, time.Now()) {
+				s.metrics.logSuppressed()
+				return
+			}
 			// Polling endpoints are chatty; keep their access lines at debug
 			// so an info-level log tracks state changes, not liveness probes.
 			logf := reqLog.Info

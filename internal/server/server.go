@@ -21,6 +21,8 @@
 //	GET    /v1/traces/{digest}           trace metadata (?download=1 for the bytes)
 //	DELETE /v1/traces/{digest}           delete a stored trace
 //	GET    /v1/backends                  the coordinator's fleet view (health, load)
+//	GET    /v1/fleet/status              aggregated fleet health snapshot (?watch=1 streams SSE)
+//	GET    /debug/incidents              captured SLO-breach incident bundles (and /{id})
 //	GET    /v1/workloads                 list the Table III workload models
 //	GET    /v1/schemes                   list the hard-error schemes
 //	GET    /healthz                      liveness (503 while draining)
@@ -52,6 +54,7 @@ import (
 	"time"
 
 	"pcmcomp/internal/cluster"
+	"pcmcomp/internal/fleetobs"
 	"pcmcomp/internal/obs"
 	"pcmcomp/internal/scheme"
 	"pcmcomp/internal/tenant"
@@ -139,6 +142,29 @@ type Config struct {
 	// backends carry it as X-Trace-Source, so a backend missing a trace
 	// digest knows where to fetch it from.
 	AdvertiseURL string
+	// ScrapeInterval is the fleet health plane's scrape cadence: this
+	// server periodically reads its own /metrics (in-process) plus every
+	// peer's, folding the samples into GET /v1/fleet/status (default 5s;
+	// negative disables the plane entirely).
+	ScrapeInterval time.Duration
+	// SLOs are the objectives the plane evaluates with multi-window burn
+	// rates; a breach captures an incident. Parse specs with
+	// fleetobs.ParseSLOs. Empty means no SLO evaluation (the snapshot
+	// still rolls).
+	SLOs []fleetobs.Objective
+	// SLOWindows are the burn-rate evaluation windows, ascending (empty
+	// selects the plane's default 1m and 5m). The shortest window is also
+	// the fleet snapshot's display window.
+	SLOWindows []time.Duration
+	// MaxIncidents bounds the /debug/incidents ring (default 8).
+	MaxIncidents int
+	// IncidentCPUProfile sizes the CPU profile captured per incident
+	// (default 5s; negative disables CPU profiling).
+	IncidentCPUProfile time.Duration
+	// LogSampleQPS rate-limits per-route access-log lines to this many
+	// per second (token bucket per route). 0 logs everything; error
+	// responses (status >= 400) always log regardless.
+	LogSampleQPS float64
 }
 
 func (c Config) withDefaults() Config {
@@ -218,6 +244,12 @@ type Server struct {
 	sweeps     *sweepStore
 	sweepWG    sync.WaitGroup     // running sweep goroutines, for drain
 	stopHealth context.CancelFunc // stops the peer health-probe loop
+
+	// Fleet health plane (see internal/fleetobs): the scrape loop behind
+	// GET /v1/fleet/status and /debug/incidents. Nil when disabled.
+	fleet *fleetobs.Plane
+	// logSample throttles per-route access logging; nil logs everything.
+	logSample *logSampler
 }
 
 // New builds the service and starts its worker pool. When a snapshot path
@@ -266,8 +298,10 @@ func New(cfg Config) *Server {
 	// carry through even off the request path.
 	s.jobCtx, s.cancelJobs = context.WithCancel(
 		obs.WithLogger(obs.WithRing(context.Background(), s.ring), s.log))
+	s.logSample = newLogSampler(cfg.LogSampleQPS)
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.execute, s.jobPanicked)
 	s.initCoordinator()
+	s.initFleet()
 	go s.housekeeping()
 
 	mux := http.NewServeMux()
@@ -289,6 +323,9 @@ func New(cfg Config) *Server {
 	s.route(mux, "GET /v1/traces/{digest}", s.handleGetDataTrace)
 	s.route(mux, "DELETE /v1/traces/{digest}", s.handleDeleteDataTrace)
 	s.route(mux, "GET /v1/backends", s.handleBackends)
+	s.route(mux, "GET /v1/fleet/status", s.handleFleetStatus)
+	s.route(mux, "GET /debug/incidents", s.handleIncidents)
+	s.route(mux, "GET /debug/incidents/{id}", s.handleIncident)
 	s.route(mux, "GET /v1/workloads", s.handleWorkloads)
 	s.route(mux, "GET /v1/schemes", s.handleSchemes)
 	s.route(mux, "GET /healthz", s.handleHealthz)
@@ -413,6 +450,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	close(s.drain)
 	close(s.hkStop)
 	s.stopHealth()
+	if s.fleet != nil {
+		// Stop scraping before the drain: the plane waits out its loop and
+		// any in-flight incident capture, so nothing touches the pool or
+		// coordinator after they unwind.
+		s.fleet.Close()
+	}
 	s.pool.Close()
 	drainErr := s.pool.Wait(ctx)
 	if drainErr == nil {
@@ -499,7 +542,7 @@ func (s *Server) execute(j *Job) {
 	if err != nil {
 		if errors.Is(context.Cause(ctx), errJobCanceled) {
 			s.store.setCanceled(j, endSpan(context.Cause(ctx)), finished)
-			s.metrics.jobFinished(j.Kind, outcomeCanceled, finished.Sub(start))
+			s.metrics.jobFinished(j.Kind, outcomeCanceled, finished.Sub(start), j.TraceID)
 			jobLog.Info("job canceled", "elapsed", finished.Sub(start))
 			return
 		}
@@ -507,13 +550,13 @@ func (s *Server) execute(j *Job) {
 			err = fmt.Errorf("job exceeded the %s execution deadline", s.cfg.JobTimeout)
 		}
 		s.store.setFailed(j, err, endSpan(err), finished)
-		s.metrics.jobFinished(j.Kind, outcomeFailed, finished.Sub(start))
+		s.metrics.jobFinished(j.Kind, outcomeFailed, finished.Sub(start), j.TraceID)
 		jobLog.Warn("job failed", "err", err, "elapsed", finished.Sub(start))
 		return
 	}
 	s.cache.Put(j.CacheKey, buf)
 	s.store.setDone(j, buf, endSpan(nil), finished)
-	s.metrics.jobFinished(j.Kind, outcomeDone, finished.Sub(start))
+	s.metrics.jobFinished(j.Kind, outcomeDone, finished.Sub(start), j.TraceID)
 	s.metrics.jobSchemesDone(j.Kind, schemeLabelsOf(j.run))
 	jobLog.Info("job done", "elapsed", finished.Sub(start))
 }
@@ -816,6 +859,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.renderMetrics(w)
+}
+
+// renderMetrics writes the full Prometheus exposition. It is the body of
+// GET /metrics and also the fleet health plane's self-scrape path (an
+// in-process fetch, no HTTP round trip).
+func (s *Server) renderMetrics(w io.Writer) {
 	now := time.Now()
 	depths := s.pool.Depths()
 	quotas := make([]tenantQuota, 0, len(depths))
@@ -845,6 +895,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		traces:     s.traces.Stats(),
 	})
 	writeClusterMetrics(w, s.coord.Metrics(), s.coord.Backends())
+	if s.fleet != nil {
+		writeFleetMetrics(w, s.fleet.Stats())
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
